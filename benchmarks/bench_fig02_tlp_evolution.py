@@ -1,0 +1,63 @@
+"""Fig. 2 — TLP of desktop applications: 2000 vs 2010 vs 2018.
+
+2018 bars come from live simulated runs; 2000/2010 bars are the
+digitized prior-work datasets.  Asserts the paper's reading: most
+lineages show comparable or higher TLP in 2018, media playback and
+video authoring dip slightly, HandBrake keeps climbing, and VR gaming
+roughly doubles the TLP of traditional 3D gaming.
+"""
+
+import pytest
+
+from repro.data import FIG2_LINEAGES
+from repro.harness import run_app_once
+from repro.reporting import fig2_series, render_fig2
+from repro.sim import SECOND
+
+DURATION = 40 * SECOND
+
+
+def measure_2018():
+    keys = {source for _c, entries in FIG2_LINEAGES
+            for _l, year, source in entries if year == 2018}
+    return {key: run_app_once(key, duration_us=DURATION, seed=7).tlp.tlp
+            for key in sorted(keys)}
+
+
+def test_fig2_tlp_evolution(experiment, report):
+    measured = experiment(measure_2018)
+    report("fig02_tlp_evolution", render_fig2(measured))
+    series = dict(fig2_series(measured))
+
+    def by_year(category):
+        years = {}
+        for _label, year, value in series[category]:
+            years.setdefault(year, []).append(value)
+        return {y: sum(v) / len(v) for y, v in years.items()}
+
+    # VR gaming TLP is about twice traditional 3D gaming.
+    vr = by_year("VR Gaming")[2018]
+    gaming_2010 = by_year("3D Gaming")[2010]
+    assert vr / gaming_2010 == pytest.approx(2.0, abs=0.6)
+
+    # HandBrake keeps increasing: 2010 -> 2018.
+    transcoding = {label: value for label, _y, value
+                   in series["Video Authoring & Transcoding"]}
+    assert transcoding["HandBrake 1.1.0"] > transcoding["HandBrake 0.9"]
+
+    # Image authoring: Photoshop CC far above Photoshop CS4 and 4.0.1.
+    image = {label: value for label, _y, value in series["Image Authoring"]}
+    assert image["Photoshop CC"] > image["Photoshop CS4"] > 0
+
+    # Office stays flat and low across 18 years.
+    office = by_year("Office")
+    assert office[2000] < 2.0 and office[2018] < 2.0
+
+    # Media playback dips slightly (paper: decrease of 0.5-1.0).
+    media = by_year("Media Playback")
+    assert media[2018] <= media[2010]
+    assert media[2010] - media[2018] < 1.2
+
+    # Browsers improve modestly.
+    web = {label: value for label, _y, value in series["Web Browsing"]}
+    assert web["Firefox v60"] >= web["Firefox 3.5"]

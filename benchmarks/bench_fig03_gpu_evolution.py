@@ -1,0 +1,55 @@
+"""Fig. 3 — GPU utilization: 2010 vs 2018.
+
+Paper: every 2018 benchmark shows *lower* GPU utilization than its
+2010 counterpart (the GPU grew faster than the software's appetite),
+except VR gaming, which is commensurate with traditional 3D gaming.
+"""
+
+import pytest
+
+from repro.data import FIG3_LINEAGES
+from repro.harness import run_app_once
+from repro.reporting import fig3_series, render_fig3
+from repro.sim import SECOND
+
+DURATION = 40 * SECOND
+
+#: Lineage pairs (2010 label, 2018 registry key) the paper compares.
+PAIRS = (
+    ("Photoshop CS4", "photoshop"),
+    ("Maya3D 2010", "maya"),
+    ("Quicktime 7.6", "quicktime"),
+    ("PowerDirector v7", "powerdirector"),
+    ("HandBrake 0.9", "handbrake"),
+    ("Firefox 3.5", "firefox"),
+    ("AdobeReader 9.0", "acrobat"),
+    ("PowerPoint 2007", "powerpoint"),
+    ("Word 2007", "word"),
+    ("Excel 2007", "excel"),
+)
+
+
+def measure_2018():
+    keys = {source for _c, entries in FIG3_LINEAGES
+            for _l, year, source in entries if year == 2018}
+    return {key: run_app_once(
+                key, duration_us=DURATION, seed=7).gpu_util.utilization_pct
+            for key in sorted(keys)}
+
+
+def test_fig3_gpu_evolution(experiment, report):
+    measured = experiment(measure_2018)
+    report("fig03_gpu_evolution", render_fig3(measured))
+    from repro.data import historical_gpu
+
+    # Every shared lineage: 2018 utilization below 2010.
+    for label_2010, key_2018 in PAIRS:
+        assert measured[key_2018] < historical_gpu(label_2010), label_2010
+
+    # VR gaming is commensurate with 2010's 3D gaming (within ~15 pts).
+    vr_keys = ("arizona-sunshine", "fallout4", "raw-data", "serious-sam",
+               "space-pirate", "project-cars-2")
+    vr_avg = sum(measured[k] for k in vr_keys) / len(vr_keys)
+    gaming_2010 = sum(historical_gpu(g)
+                      for g in ("Call of Duty 4", "Bioshock", "Crysis")) / 3
+    assert vr_avg == pytest.approx(gaming_2010, abs=15)

@@ -1,0 +1,60 @@
+"""Fig. 4 — TLP of category leaders at 4/8/12 logical CPUs (SMT on).
+
+Paper: EasyMiner scales linearly (one thread per logical core);
+HandBrake and Photoshop scale sub-linearly; Project CARS 2 saturates;
+Chrome, VLC, Excel and Cortana stay tied to ~2 because there is no
+parallelism left to exploit.
+"""
+
+import pytest
+
+from repro.apps import create_app
+from repro.harness import core_scaling_sweep
+from repro.reporting import render_fig4
+from repro.sim import SECOND
+
+DURATION = 30 * SECOND
+
+APPS = ("easyminer", "handbrake", "photoshop", "project-cars-2",
+        "chrome", "vlc", "excel", "cortana")
+
+
+def run_sweep():
+    scaling = {}
+    for name in APPS:
+        sweep = core_scaling_sweep(lambda n=name: create_app(n),
+                                   logical_cpus=(4, 8, 12),
+                                   duration_us=DURATION)
+        scaling[name] = {count: result.tlp.mean
+                         for count, result in sweep.items()}
+    return scaling
+
+
+def test_fig4_core_scaling(experiment, report):
+    scaling = experiment(run_sweep)
+    report("fig04_core_scaling", render_fig4(scaling))
+
+    # EasyMiner: TLP scales linearly with the number of active cores.
+    easy = scaling["easyminer"]
+    for count in (4, 8, 12):
+        assert easy[count] == pytest.approx(count, abs=0.4)
+
+    # HandBrake scales but sub-linearly at the top (docs: diminishing
+    # returns beyond 6 cores).
+    hb = scaling["handbrake"]
+    assert hb[4] < hb[8] < hb[12]
+    assert hb[12] < 12 * 0.9
+
+    # Photoshop's filter rendering scales with core count.
+    ps = scaling["photoshop"]
+    assert ps[4] < ps[8] < ps[12]
+
+    # Project CARS 2 saturates: the 8->12 gain is small.
+    pc = scaling["project-cars-2"]
+    assert pc[12] - pc[8] < pc[8] - pc[4] + 0.6
+
+    # Low-parallelism applications stay tied near 2 at every count.
+    for name in ("chrome", "vlc", "excel", "cortana"):
+        values = scaling[name]
+        assert max(values.values()) < 3.2, name
+        assert max(values.values()) - min(values.values()) < 1.0, name

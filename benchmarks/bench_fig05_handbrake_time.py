@@ -1,0 +1,59 @@
+"""Fig. 5 — HandBrake instantaneous TLP / GPU utilization over time.
+
+A fixed-length clip is transcoded at 4/8/12 logical CPUs.  Paper:
+TLP sits at the instantaneous maximum with periodic serialization
+dips; runtime shrinks roughly in proportion to the core count.
+"""
+
+import pytest
+
+from repro.apps.transcoding import HandBrake
+from repro.harness import run_app_once
+from repro.hardware import paper_machine
+from repro.metrics import instantaneous_tlp
+from repro.reporting import render_timeseries_figure
+from repro.sim import SECOND
+
+TOTAL_FRAMES = 600
+WINDOW = 90 * SECOND
+
+
+def run_series():
+    out = {}
+    for cores in (4, 8, 12):
+        machine = paper_machine().with_logical_cpus(cores)
+        result = run_app_once(HandBrake(total_frames=TOTAL_FRAMES),
+                              machine=machine, duration_us=WINDOW,
+                              seed=2, keep_trace=True)
+        series = instantaneous_tlp(result.cpu_table, cores,
+                                   processes=result.process_names,
+                                   step_us=500_000)
+        out[cores] = (result, series)
+    return out
+
+
+def test_fig5_handbrake_over_time(experiment, report):
+    results = experiment(run_series)
+    text = render_timeseries_figure(
+        "Fig. 5: HandBrake instantaneous TLP over time",
+        {f"{cores} logical CPUs": series
+         for cores, (_r, series) in results.items()})
+    report("fig05_handbrake_time", text)
+
+    completion = {cores: r.outputs["completed_at_us"]
+                  for cores, (r, _s) in results.items()}
+    # Runtime decreases with core count, roughly in proportion.
+    assert completion[4] > completion[8] > completion[12]
+    assert completion[4] / completion[12] == pytest.approx(3.0, abs=1.0)
+
+    for cores, (result, series) in results.items():
+        # Only the transcoding window counts (after completion only the
+        # idle preview thread remains).
+        windows = int(result.outputs["completed_at_us"] // series.step_us)
+        busy = [v for v in series.values[:windows] if v > 0.5]
+        # Instantaneous TLP is mostly at the maximum...
+        assert series.maximum() == pytest.approx(cores, abs=0.7)
+        at_max = sum(1 for v in busy if v > cores * 0.8)
+        assert at_max / len(busy) > 0.55, cores
+        # ...with periodic dips from serialization.
+        assert any(v < cores * 0.7 for v in busy), cores

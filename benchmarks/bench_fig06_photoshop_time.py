@@ -1,0 +1,59 @@
+"""Fig. 6 — Photoshop instantaneous TLP over time at 4/8/12 LCPUs.
+
+Paper: filter rendering scales linearly with core count (reaching the
+instantaneous maximum of 12 with all cores enabled) while user-input
+processing shows no scalability; the runtime is bottlenecked by user
+response time, so it shrinks sub-linearly (Amdahl).
+"""
+
+import pytest
+
+from repro.apps.image_authoring import Photoshop
+from repro.harness import run_app_once
+from repro.hardware import paper_machine
+from repro.metrics import instantaneous_tlp
+from repro.reporting import render_timeseries_figure
+from repro.sim import SECOND
+
+WINDOW = 50 * SECOND
+
+
+def run_series():
+    out = {}
+    for cores in (4, 8, 12):
+        machine = paper_machine().with_logical_cpus(cores)
+        result = run_app_once(Photoshop(), machine=machine,
+                              duration_us=WINDOW, seed=2, keep_trace=True)
+        series = instantaneous_tlp(result.cpu_table, cores,
+                                   processes=result.process_names,
+                                   step_us=500_000)
+        out[cores] = (result, series)
+    return out
+
+
+def test_fig6_photoshop_over_time(experiment, report):
+    results = experiment(run_series)
+    report("fig06_photoshop_time", render_timeseries_figure(
+        "Fig. 6: Photoshop instantaneous TLP over time",
+        {f"{cores} logical CPUs": series
+         for cores, (_r, series) in results.items()}))
+
+    for cores, (result, series) in results.items():
+        # Filter rendering reaches the machine maximum at every width.
+        assert result.tlp.max_instantaneous == cores
+        # User-interaction windows stay near 1 regardless of cores.
+        low_activity = [v for v in series.values if 0.05 < v < 2.0]
+        assert low_activity, cores
+
+    # On the full machine the renders are short and idle (waiting on
+    # user inputs) dominates; with fewer cores the same filter work
+    # fills more of the window, so idle shrinks monotonically.
+    idle = {cores: r.tlp.idle_fraction
+            for cores, (r, _s) in results.items()}
+    assert idle[12] > 0.2
+    assert idle[4] <= idle[8] <= idle[12]
+
+    # Average TLP grows with core count, sub-linearly.
+    tlps = {cores: r.tlp.tlp for cores, (r, _s) in results.items()}
+    assert tlps[4] < tlps[8] < tlps[12]
+    assert tlps[12] / tlps[4] < 3.0  # Amdahl: far from linear

@@ -1,0 +1,55 @@
+"""Fig. 7 — Project CARS 2 (Rift) instantaneous TLP at 4/8/12 LCPUs.
+
+Paper: moderate scalability; at 4 logical cores the Rift's ASW clamps
+the frame rate to 45 FPS, with a matching reduction in TLP and GPU
+utilization.
+"""
+
+import pytest
+
+from repro.apps.vr_gaming import ProjectCars2
+from repro.harness import run_app_once
+from repro.hardware import paper_machine
+from repro.metrics import instantaneous_tlp
+from repro.reporting import render_timeseries_figure
+from repro.sim import SECOND
+
+WINDOW = 30 * SECOND
+
+
+def run_series():
+    out = {}
+    for cores in (4, 8, 12):
+        machine = paper_machine().with_logical_cpus(cores)
+        result = run_app_once(ProjectCars2(headset="rift"), machine=machine,
+                              duration_us=WINDOW, seed=2, keep_trace=True)
+        series = instantaneous_tlp(result.cpu_table, cores,
+                                   processes=result.process_names,
+                                   step_us=500_000)
+        out[cores] = (result, series)
+    return out
+
+
+def test_fig7_project_cars_over_time(experiment, report):
+    results = experiment(run_series)
+    report("fig07_pcars_time", render_timeseries_figure(
+        "Fig. 7: Project CARS 2 (Rift) instantaneous TLP over time",
+        {f"{cores} logical CPUs": series
+         for cores, (_r, series) in results.items()}))
+
+    fps = {cores: r.outputs["real_frames"] / (WINDOW / SECOND)
+           for cores, (r, _s) in results.items()}
+    # ASW clamp at 4 logical cores, full rate at 8 and 12.
+    assert fps[4] < 65
+    assert results[4][0].outputs.get("asw_engaged", 0) >= 1
+    assert fps[8] == pytest.approx(90, abs=4)
+    assert fps[12] == pytest.approx(90, abs=4)
+
+    # The clamp shows up as lower GPU utilization too.
+    utils = {cores: r.gpu_util.utilization_pct
+             for cores, (r, _s) in results.items()}
+    assert utils[4] < utils[12] * 0.8
+
+    # TLP bursts to high values but saturates (serialized work).
+    for cores, (_r, series) in results.items():
+        assert series.maximum() > 3.0

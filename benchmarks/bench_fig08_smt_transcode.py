@@ -1,0 +1,66 @@
+"""Fig. 8 — transcode rate and GPU utilization: 2-6 cores, SMT, GPUs.
+
+Paper: (a) SMT *decreases* the transcode rate of both HandBrake and
+WinX (functional-unit contention beats the cache-sharing benefit);
+WinX rates are identical on the GTX 680 and 1080 Ti (NVENC is
+fixed-function).  (b) HandBrake's GPU utilization stays below 1%
+everywhere; WinX shows much higher utilization on the mid-end GTX 680
+than on the 1080 Ti.
+"""
+
+from repro.apps.transcoding import HandBrake, WinXVideoConverter
+from repro.harness import smt_sweep
+from repro.hardware import GTX_1080_TI, GTX_680
+from repro.reporting import render_fig8
+from repro.sim import SECOND
+
+DURATION = 30 * SECOND
+CORES = (2, 4, 6)
+
+
+def run_grid():
+    grid = {}
+    for app_name, factory in (("HB", HandBrake),
+                              ("WinX", WinXVideoConverter)):
+        sweep = smt_sweep(lambda f=factory: f(), physical_cores=CORES,
+                          gpus=(GTX_1080_TI, GTX_680),
+                          duration_us=DURATION)
+        for (gpu_name, smt, cores), run in sweep.items():
+            rate = run.outputs["frames"] / (DURATION / SECOND)
+            grid[(app_name, gpu_name, smt, cores)] = (
+                rate, run.gpu_util.utilization_pct)
+    return grid
+
+
+def test_fig8_smt_and_gpu_offload(experiment, report):
+    grid = experiment(run_grid)
+    report("fig08_smt_transcode", render_fig8(grid, physical_cores=CORES))
+
+    for app in ("HB", "WinX"):
+        for gpu in (GTX_1080_TI.name, GTX_680.name):
+            for cores in CORES:
+                smt_rate, _ = grid[(app, gpu, True, cores)]
+                nosmt_rate, _ = grid[(app, gpu, False, cores)]
+                # SMT never helps and usually hurts the encode rate.
+                assert nosmt_rate >= smt_rate * 0.97, (app, gpu, cores)
+
+    # Rates scale up with core count.
+    for app in ("HB", "WinX"):
+        rates = [grid[(app, GTX_1080_TI.name, True, c)][0] for c in CORES]
+        assert rates[0] < rates[1] < rates[2]
+
+    # HandBrake's GPU utilization stays below 1% in every setting.
+    for (app, _gpu, _smt, _cores), (_rate, util) in grid.items():
+        if app == "HB":
+            assert util < 1.0
+
+    # WinX: same transcode rate on both GPUs (NVENC fixed-function)...
+    for cores in CORES:
+        r1080 = grid[("WinX", GTX_1080_TI.name, True, cores)][0]
+        r680 = grid[("WinX", GTX_680.name, True, cores)][0]
+        assert abs(r1080 - r680) / r1080 < 0.08, cores
+    # ...but far higher utilization on the mid-end GTX 680.
+    for cores in CORES:
+        u1080 = grid[("WinX", GTX_1080_TI.name, True, cores)][1]
+        u680 = grid[("WinX", GTX_680.name, True, cores)][1]
+        assert u680 > 2.0 * u1080, cores

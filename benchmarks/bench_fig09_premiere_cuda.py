@@ -1,0 +1,46 @@
+"""Fig. 9 — Premiere Pro export with and without CUDA, both GPUs.
+
+Paper: CUDA export shows higher GPU utilization and slightly lower
+TLP than non-CUDA, without a significant runtime change; utilization
+is higher on the GTX 680 than on the 1080 Ti.
+"""
+
+from repro.apps.video_authoring import PremierePro
+from repro.harness import run_app_once
+from repro.hardware import GTX_1080_TI, GTX_680, paper_machine
+from repro.reporting import render_fig9
+from repro.sim import SECOND
+
+DURATION = 40 * SECOND
+
+
+def run_grid():
+    results = {}
+    for gpu in (GTX_1080_TI, GTX_680):
+        machine = paper_machine().with_gpu(gpu)
+        for cuda in (False, True):
+            run = run_app_once(PremierePro(use_cuda=cuda), machine=machine,
+                               duration_us=DURATION, seed=6)
+            results[(gpu.name, cuda)] = (
+                run.gpu_util.utilization_pct, run.tlp.tlp,
+                run.outputs["segments_exported"])
+    return results
+
+
+def test_fig9_premiere_cuda(experiment, report):
+    results = experiment(run_grid)
+    report("fig09_premiere_cuda", render_fig9(
+        {key: value[:2] for key, value in results.items()}))
+
+    for gpu_name in (GTX_1080_TI.name, GTX_680.name):
+        util_cuda, tlp_cuda, seg_cuda = results[(gpu_name, True)]
+        util_plain, tlp_plain, seg_plain = results[(gpu_name, False)]
+        # CUDA raises GPU utilization and slightly lowers TLP.
+        assert util_cuda > util_plain
+        assert tlp_cuda <= tlp_plain + 0.05
+        # Runtime (export progress) does not change dramatically.
+        assert abs(seg_cuda - seg_plain) <= max(2, seg_plain * 0.5)
+
+    # The mid-end GTX 680 runs the same CUDA kernels much hotter.
+    assert results[(GTX_680.name, True)][0] > \
+        2.0 * results[(GTX_1080_TI.name, True)][0]

@@ -1,0 +1,67 @@
+"""Fig. 11 — browser TLP and GPU utilization across the four tests.
+
+Paper: multi-tab TLP is similar to or *higher* than single-tab (the
+reverse of 2010, thanks to multi-process models and throttled-but-live
+background tabs); Chrome shows the least multi/single difference and
+the highest TLP on ESPN (it spawns renderer processes for the active
+iframes); all browsers use more GPU on ESPN than on Wikipedia.
+"""
+
+from repro.apps import create_app
+from repro.apps.browsing import TESTS
+from repro.harness import run_app_once
+from repro.reporting import render_fig11
+from repro.sim import SECOND
+
+DURATION = 40 * SECOND
+BROWSERS = ("chrome", "firefox", "edge")
+
+
+def run_grid():
+    results = {}
+    for browser in BROWSERS:
+        for test in TESTS:
+            run = run_app_once(create_app(browser, test=test),
+                               duration_us=DURATION, seed=4)
+            results[(browser, test)] = (
+                run.tlp.tlp, run.gpu_util.utilization_pct,
+                run.outputs["renderer_processes"])
+    return results
+
+
+def test_fig11_browsing(experiment, report):
+    results = experiment(run_grid)
+    report("fig11_browsing", render_fig11(
+        {key: value[:2] for key, value in results.items()}))
+
+    for browser in BROWSERS:
+        multi = results[(browser, "multi-tab")][0]
+        single = results[(browser, "single-tab")][0]
+        espn = results[(browser, "espn")][0]
+        wiki = results[(browser, "wiki")][0]
+        # Multi-tab >= single-tab (the 2018 reversal of Blake et al.).
+        assert multi >= single - 0.05, browser
+        # Heavy active content beats static content.
+        assert espn > wiki, browser
+        # ESPN drives more GPU compositing than Wikipedia.
+        assert (results[(browser, "espn")][1]
+                > results[(browser, "wiki")][1]), browser
+
+    # Chrome shows the least multi/single difference...
+    diffs = {b: results[(b, "multi-tab")][0] - results[(b, "single-tab")][0]
+             for b in BROWSERS}
+    assert diffs["chrome"] <= min(diffs["firefox"], diffs["edge"]) + 0.05
+
+    # ...and the highest TLP on ESPN, from its per-iframe processes.
+    assert results[("chrome", "espn")][0] > results[("firefox", "espn")][0]
+    assert results[("chrome", "espn")][0] > results[("edge", "espn")][0]
+    assert results[("chrome", "espn")][2] > results[("firefox", "espn")][2]
+
+    # Chrome creates many more processes than Firefox overall.
+    assert (results[("chrome", "multi-tab")][2]
+            >= 2 * results[("firefox", "multi-tab")][2])
+
+    # Firefox compensates with the heaviest GPU use.
+    for test in TESTS:
+        assert (results[("firefox", test)][1]
+                >= results[("chrome", test)][1]), test

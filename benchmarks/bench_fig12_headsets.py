@@ -1,0 +1,64 @@
+"""Fig. 12 — VR TLP and GPU utilization across Rift / Vive / Vive Pro.
+
+Paper: Rift achieves the highest TLP (heavier client runtime); Vive
+and Vive Pro have almost the same TLP; GPU utilization correlates with
+headset resolution — Vive Pro is highest for every game *except*
+Fallout 4, which is CPU-bound at the higher resolution and drops both
+GPU utilization and frame rate.
+"""
+
+from repro.apps import create_app
+from repro.harness import run_app_once
+from repro.sim import SECOND
+
+from repro.reporting import render_fig12
+
+DURATION = 25 * SECOND
+GAMES = ("arizona-sunshine", "fallout4", "raw-data", "serious-sam",
+         "space-pirate", "project-cars-2")
+HEADSETS = ("rift", "vive", "vive-pro")
+
+
+def run_grid():
+    results = {}
+    for game in GAMES:
+        for headset in HEADSETS:
+            run = run_app_once(create_app(game, headset=headset),
+                               duration_us=DURATION, seed=4)
+            results[(game, headset)] = (
+                run.tlp.tlp, run.gpu_util.utilization_pct,
+                run.outputs["real_frames"] / (DURATION / SECOND))
+    return results
+
+
+def test_fig12_headsets(experiment, report):
+    results = experiment(run_grid)
+    report("fig12_headsets", render_fig12(
+        {key: value[:2] for key, value in results.items()}))
+
+    for game in GAMES:
+        rift_tlp = results[(game, "rift")][0]
+        vive_tlp = results[(game, "vive")][0]
+        pro_tlp = results[(game, "vive-pro")][0]
+        # Rift achieves the highest TLP.
+        assert rift_tlp >= max(vive_tlp, pro_tlp) - 0.05, game
+        # Vive and Vive Pro have almost the same TLP.
+        assert abs(vive_tlp - pro_tlp) < 0.8, game
+
+    # GPU utilization correlates with resolution (all but Fallout 4).
+    for game in GAMES:
+        vive_util = results[(game, "vive")][1]
+        pro_util = results[(game, "vive-pro")][1]
+        if game == "fallout4":
+            # The exception: CPU-bound at high res, utilization drops.
+            assert pro_util < vive_util - 5
+            assert (results[(game, "vive-pro")][2]
+                    < results[(game, "vive")][2] * 0.9)
+        else:
+            assert pro_util > vive_util + 3, game
+
+    # Rift and Vive share a resolution: comparable utilization.
+    for game in GAMES:
+        rift_util = results[(game, "rift")][1]
+        vive_util = results[(game, "vive")][1]
+        assert abs(rift_util - vive_util) < 6, game

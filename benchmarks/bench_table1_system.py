@@ -1,0 +1,13 @@
+"""Table I — specification of the benchmarking system."""
+
+from repro.hardware import paper_machine
+from repro.reporting import render_table1
+
+
+def test_table1_system_spec(experiment, report):
+    text = experiment(lambda: render_table1(paper_machine()))
+    report("table1_system", text)
+    machine = paper_machine()
+    assert machine.cpu.logical_cpus == 12
+    assert machine.gpu.cuda_cores == 3584
+    assert "i7-8700K" in text

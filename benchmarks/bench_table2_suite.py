@@ -1,0 +1,57 @@
+"""Table II — TLP and GPU utilization for the full 30-application suite.
+
+The headline experiment: every application, three seeded iterations,
+12 logical CPUs with SMT, GTX 1080 Ti.  Asserts the paper's summary
+claims: overall average TLP ~3.1, exactly 6 of 30 applications above
+TLP 4, low iteration sigmas, GPU below 10% for most applications but
+above 90% for mining.
+"""
+
+import pytest
+
+from repro.data import PAPER_CATEGORY_AVERAGES, PAPER_TABLE2
+from repro.harness import run_suite
+from repro.reporting import render_table2
+from repro.sim import SECOND
+
+DURATION = 40 * SECOND
+
+
+def test_table2_full_suite(experiment, report):
+    suite = experiment(lambda: run_suite(duration_us=DURATION, iterations=3))
+    report("table2_suite", render_table2(suite))
+
+    # Abstract: "The average TLP across the applications we study is
+    # 3.1" and "6 out of 30 applications have an average TLP higher
+    # than 4".
+    assert suite.overall_average_tlp() == pytest.approx(3.1, abs=0.4)
+    assert len(suite.apps_with_tlp_above(4.0)) == 6
+
+    # Per-application agreement with Table II.
+    for name, result in suite.results.items():
+        paper_tlp, paper_gpu = PAPER_TABLE2[name]
+        assert result.tlp.mean == pytest.approx(
+            paper_tlp, abs=max(0.5, paper_tlp * 0.18)), name
+        assert result.gpu_util.mean == pytest.approx(
+            paper_gpu, abs=max(2.0, paper_gpu * 0.25)), name
+        # "Based on the low standard deviations, we conclude that our
+        # experimental results are consistent."
+        assert result.tlp.std < 0.35, name
+
+    # Category-average agreement (within a generous band).
+    for category, (tlp, gpu) in suite.category_averages().items():
+        paper_tlp, paper_gpu = PAPER_CATEGORY_AVERAGES[category.value]
+        assert tlp == pytest.approx(paper_tlp, abs=max(0.6, paper_tlp * 0.2))
+        assert gpu == pytest.approx(paper_gpu, abs=max(3.0, paper_gpu * 0.3))
+
+    # "most applications attaining the maximum instantaneous TLP of
+    # 12 during execution" (abstract).
+    reaching = suite.apps_reaching_max_tlp(12)
+    assert len(reaching) >= 24
+
+    # GPU story: under-provisioned for most, saturated for miners.
+    below_10 = [n for n, r in suite.results.items() if r.gpu_util.mean < 10]
+    assert len(below_10) >= 15
+    for miner in ("bitcoin-miner", "easyminer", "phoenixminer", "wineth"):
+        assert suite.results[miner].gpu_util.mean > 90
+    assert suite.results["phoenixminer"].gpu_capped  # the "*100.0" row

@@ -1,0 +1,63 @@
+"""Table III — WinX with and without CUDA/NVENC at 4/8/12 logical CPUs.
+
+Paper: enabling the GPU raises the transcode rate by ~1.4x on average,
+lowers TLP by up to 22%, and shows utilization growing almost linearly
+with TLP (5.2 / 10.0 / 13.9%).
+"""
+
+import pytest
+
+from repro.apps.transcoding import WinXVideoConverter
+from repro.harness import run_app_once
+from repro.hardware import paper_machine
+from repro.reporting import render_table3
+from repro.sim import SECOND
+
+DURATION = 40 * SECOND
+
+
+def run_table3():
+    rows = {}
+    for cores in (4, 8, 12):
+        machine = paper_machine().with_logical_cpus(cores)
+        cpu = run_app_once(WinXVideoConverter(use_gpu=False),
+                           machine=machine, duration_us=DURATION, seed=3)
+        gpu = run_app_once(WinXVideoConverter(use_gpu=True),
+                           machine=machine, duration_us=DURATION, seed=3)
+        seconds = DURATION / SECOND
+        rows[cores] = {
+            "rate_cpu": cpu.outputs["frames"] / seconds,
+            "rate_gpu": gpu.outputs["frames"] / seconds,
+            "tlp_cpu": cpu.tlp.tlp,
+            "tlp_gpu": gpu.tlp.tlp,
+            "util_cpu": cpu.gpu_util.utilization_pct,
+            "util_gpu": gpu.gpu_util.utilization_pct,
+        }
+    return rows
+
+
+def test_table3_winx_gpu_offload(experiment, report):
+    rows = experiment(run_table3)
+    report("table3_winx", render_table3(rows))
+
+    for cores, row in rows.items():
+        # GPU path is faster at every core count...
+        assert row["rate_gpu"] > row["rate_cpu"] * 1.2, cores
+        # ...while TLP decreases (by up to ~22% at 12 cores)...
+        assert row["tlp_gpu"] < row["tlp_cpu"], cores
+        # ...and the CPU-only path never touches the GPU.
+        assert row["util_cpu"] == 0.0
+
+    # TLP drop at 12 logical CPUs is the paper's largest (~22%).
+    drop = 1.0 - rows[12]["tlp_gpu"] / rows[12]["tlp_cpu"]
+    assert 0.08 < drop < 0.30
+
+    # GPU utilization grows almost linearly with TLP (5.2/10.0/13.9).
+    utils = [rows[c]["util_gpu"] for c in (4, 8, 12)]
+    assert utils[0] < utils[1] < utils[2]
+    assert utils[1] / utils[0] == pytest.approx(2.0, abs=0.5)
+
+    # Average rate improvement ~1.43x.
+    improvement = sum(rows[c]["rate_gpu"] / rows[c]["rate_cpu"]
+                      for c in (4, 8, 12)) / 3
+    assert improvement == pytest.approx(1.43, abs=0.25)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the experiment under ``benchmark.pedantic`` (one round — these are
+experiments, not micro-benchmarks), prints the rendered rows/series,
+writes them to ``benchmarks/reports/<name>.txt`` and asserts the
+qualitative shape the paper reports.
+"""
+
+import pathlib
+
+import pytest
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def report():
+    """Returns ``emit(name, text)``: print + persist a rendered report."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+
+    def emit(name, text):
+        path = REPORTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        _update_index()
+        print()
+        print(text)
+        return path
+
+    return emit
+
+
+def _update_index():
+    """Regenerate reports/INDEX.md from the files present."""
+    lines = ["# Benchmark reports", "",
+             "One file per regenerated table/figure/ablation:", ""]
+    for path in sorted(REPORTS_DIR.glob("*.txt")):
+        first = path.read_text(encoding="utf-8").splitlines()
+        title = first[0] if first else ""
+        lines.append(f"* `{path.name}` — {title}")
+    (REPORTS_DIR / "INDEX.md").write_text("\n".join(lines) + "\n",
+                                          encoding="utf-8")
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer."""
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The 18-year perspective, simulated end to end.
+
+Runs the 2010-era application lineages on Blake et al.'s machine
+(8C/16T Xeon, GTX 285) and their 2018 successors on the paper's
+machine (i7-8700K, GTX 1080 Ti), then prints the Fig. 2/3-style
+comparison — both columns measured live rather than digitized.
+"""
+
+from repro.apps import create_app
+from repro.apps.era2010 import ERA2010_REGISTRY
+from repro.harness import run_app_once
+from repro.hardware import machine_2010, paper_machine
+from repro.reporting import format_table
+from repro.sim import SECOND
+
+DURATION = 40 * SECOND
+
+#: (lineage label, 2010 era key, 2018 registry key)
+LINEAGES = (
+    ("Photoshop", "photoshop-cs4", "photoshop"),
+    ("Maya 3D", "maya-2010", "maya"),
+    ("Acrobat/Reader", "acrobat-9", "acrobat"),
+    ("PowerPoint", "powerpoint-2007", "powerpoint"),
+    ("Word", "word-2007", "word"),
+    ("Excel", "excel-2007", "excel"),
+    ("QuickTime", "quicktime-76", "quicktime"),
+    ("Media Player", "wmp-2010", "wmp"),
+    ("PowerDirector", "powerdirector-v7", "powerdirector"),
+    ("HandBrake", "handbrake-09", "handbrake"),
+    ("Firefox", "firefox-35", "firefox"),
+)
+
+
+def main():
+    old_machine = machine_2010()
+    new_machine = paper_machine()
+    print(f"2010 testbed: {old_machine.cpu.name}, {old_machine.gpu.name}")
+    print(f"2018 testbed: {new_machine.cpu.name}, {new_machine.gpu.name}")
+    print(f"Simulating {len(LINEAGES)} lineages x 2 eras "
+          f"({DURATION // SECOND}s each)...\n")
+
+    rows = []
+    for label, old_key, new_key in LINEAGES:
+        old = run_app_once(ERA2010_REGISTRY[old_key](),
+                           machine=old_machine, duration_us=DURATION,
+                           seed=3)
+        new = run_app_once(create_app(new_key), machine=new_machine,
+                           duration_us=DURATION, seed=3)
+        rows.append((
+            label,
+            f"{old.tlp.tlp:5.2f}", f"{new.tlp.tlp:5.2f}",
+            f"{new.tlp.tlp - old.tlp.tlp:+5.2f}",
+            f"{old.gpu_util.utilization_pct:6.1f}",
+            f"{new.gpu_util.utilization_pct:6.1f}",
+        ))
+    print(format_table(
+        ("Lineage", "TLP 2010", "TLP 2018", "Δ", "GPU% 2010", "GPU% 2018"),
+        rows, title="The 18-year perspective (both eras simulated)"))
+    print()
+    print("Reading: parallel workloads (HandBrake, Photoshop) moved far")
+    print("up; office stayed flat; *every* legacy lineage shows lower GPU")
+    print("utilization in 2018 — the GPU grew faster than the software's")
+    print("appetite, exactly the paper's Fig. 3 story.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Measure the TLP of *real* processes with the paper's Equation 1.
+
+The rest of this repository measures simulated workloads; this example
+uses ``repro.live.LinuxTlpSampler`` to apply the same methodology to
+actual Linux processes via ``/proc`` — the closest this environment
+gets to the paper's ETW tracing of a live desktop.
+
+It spawns a small synthetic workload (a few single-threaded spinner
+processes with idle gaps, imitating an interactive app with parallel
+bursts) and reports its measured TLP and concurrency histogram.
+
+Usage::
+
+    python examples/live_measurement.py [n_spinners] [seconds]
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+from repro.live import LinuxTlpSampler
+from repro.reporting import heat_row
+
+_BURSTY_SPINNER = """
+import sys, time
+end = time.time() + float(sys.argv[1])
+while time.time() < end:
+    burst_end = time.time() + 0.05
+    while time.time() < burst_end:
+        pass              # busy: this thread samples as running
+    time.sleep(0.03)      # idle: imitates waiting on I/O or the user
+"""
+
+
+def main():
+    if not os.path.isdir("/proc/self/task"):
+        raise SystemExit("this example requires Linux (/proc)")
+    n_spinners = int(sys.argv[1]) if len(sys.argv) > 1 else min(
+        3, os.cpu_count() or 1)
+    seconds = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+
+    print(f"Spawning {n_spinners} bursty spinner process(es) "
+          f"for {seconds:.1f}s on a {os.cpu_count()}-CPU machine...")
+    workers = [
+        subprocess.Popen([sys.executable, "-c", _BURSTY_SPINNER,
+                          str(seconds + 1.0)])
+        for _ in range(n_spinners)
+    ]
+    try:
+        time.sleep(0.3)  # let them reach steady state
+        sampler = LinuxTlpSampler([w.pid for w in workers],
+                                  include_children=False)
+        sampler.run(seconds, interval_s=0.005)
+        result = sampler.result()
+    finally:
+        for worker in workers:
+            worker.kill()
+            worker.wait()
+
+    print(f"\n  samples          : {len(sampler.samples)}")
+    print(f"  TLP (Eq. 1)      : {result.tlp:.2f}")
+    print(f"  max instantaneous: {result.max_instantaneous}")
+    print(f"  idle fraction    : {result.idle_fraction:.2f}")
+    print(f"  heat map c0..cN  : |{heat_row(result.fractions)}|")
+    print("\nEach spinner is ~60% busy; with more CPUs than spinners the")
+    print("expected TLP is near the spinner count (idle factored out).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: measure one application's TLP and GPU utilization.
+
+Runs HandBrake on the paper's machine (i7-8700K, 12 logical CPUs,
+GTX 1080 Ti) for three seeded iterations — the exact protocol behind
+one row of the paper's Table II — and prints the metrics next to the
+paper-reported values.
+
+Usage::
+
+    python examples/quickstart.py [app-name]
+
+``app-name`` is any of the 30 registry keys (default: handbrake).
+Run ``python -c "from repro.apps import SUITE; print(SUITE)"`` to list
+them all.
+"""
+
+import sys
+
+from repro.apps import REGISTRY, create_app
+from repro.harness import run_app
+from repro.reporting import heat_row
+from repro.sim import SECOND
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "handbrake"
+    if name not in REGISTRY:
+        raise SystemExit(f"unknown app {name!r}; choose from "
+                         f"{', '.join(sorted(REGISTRY))}")
+    app = create_app(name)
+    print(f"Running {app.display_name} ({app.category.value}) "
+          f"for 3 iterations of 60 simulated seconds...")
+    result = run_app(app, duration_us=60 * SECOND, iterations=3)
+
+    print()
+    print(f"  TLP             : {result.tlp.mean:5.2f} ± {result.tlp.std:.2f}"
+          f"   (paper Table II: {app.paper_tlp})")
+    capped = " (*saturated: simultaneous packets)" if result.gpu_capped else ""
+    print(f"  GPU utilization : {result.gpu_util.mean:5.2f}%"
+          f" ± {result.gpu_util.std:.2f}{capped}"
+          f"   (paper Table II: {app.paper_gpu_util}%)")
+    print(f"  Max instant TLP : {result.max_instantaneous} of 12 logical CPUs")
+    print(f"  Execution-time heat map (c0..c12): "
+          f"|{heat_row(result.fractions)}|")
+    print()
+    print("  Concurrency breakdown (share of wall time):")
+    for level, fraction in enumerate(result.fractions):
+        if fraction > 0.005:
+            print(f"    {level:2d} logical CPUs busy: {fraction:6.1%} "
+                  f"{'#' * int(fraction * 50)}")
+    if result.outputs:
+        printable = {k: v for k, v in result.outputs.items()
+                     if isinstance(v, (int, float, str, bool))}
+        print(f"\n  Application outputs: {printable}")
+
+
+if __name__ == "__main__":
+    main()

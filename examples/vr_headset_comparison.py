@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Compare VR headsets on one game — the paper's §V-F analysis, live.
+
+Runs Project CARS 2 on Oculus Rift (ASW), HTC Vive and HTC Vive Pro
+(asynchronous reprojection), on the full machine and on a 4-logical-
+core configuration, printing frame-rate sparklines like Fig. 13.
+"""
+
+from repro.apps.vr_gaming import ProjectCars2
+from repro.harness import run_app_once
+from repro.hardware import paper_machine
+from repro.metrics import frame_rate_series
+from repro.reporting import sparkline
+from repro.sim import SECOND
+
+DURATION = 30 * SECOND
+
+
+def run_config(label, machine):
+    print(f"== {label} ==")
+    for headset in ("rift", "vive", "vive-pro"):
+        result = run_app_once(ProjectCars2(headset=headset),
+                              machine=machine, duration_us=DURATION,
+                              seed=3)
+        real = [f for f in result.frames if not f.reprojected]
+        series = frame_rate_series(real, 0, DURATION)
+        fps = result.outputs["real_frames"] / (DURATION / SECOND)
+        asw = result.outputs.get("asw_engaged", 0)
+        policy = "ASW" if headset == "rift" else "reprojection"
+        print(f"  {headset:9s} ({policy:12s}) "
+              f"TLP {result.tlp.tlp:4.2f}  "
+              f"GPU {result.gpu_util.utilization_pct:5.1f}%  "
+              f"{fps:5.1f} real FPS"
+              + (f"  [ASW engaged x{asw}]" if asw else ""))
+        print(f"            {sparkline(series.values)}")
+    print()
+
+
+def main():
+    run_config("Full machine: 12 logical CPUs",
+               paper_machine())
+    run_config("Core-starved: 4 logical CPUs (the Fig. 7 clamp)",
+               paper_machine().with_logical_cpus(4))
+    print("Reading: the Rift's ASW trades resolution of motion for")
+    print("*stability* — when the system can't hold 90 FPS it clamps to")
+    print("a steady 45, while Vive-family reprojection oscillates.")
+
+
+if __name__ == "__main__":
+    main()

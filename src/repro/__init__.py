@@ -1,0 +1,17 @@
+"""repro — reproduction of "Parallelism Analysis of Prominent Desktop
+Applications: An 18-Year Perspective" (Feng et al., ISPASS 2019).
+
+The package simulates the paper's entire measurement stack — a 2018
+desktop (CPU with SMT + discrete GPU), an ETW-like tracing facility,
+behavioural models of the 30-application benchmark suite, and the
+TLP / GPU-utilization metrics — so every table and figure of the
+evaluation can be regenerated deterministically on any machine.
+
+Typical entry point::
+
+    from repro.harness import run_app
+    result = run_app("handbrake")
+    print(result.tlp.mean, result.gpu_util.mean)
+"""
+
+__version__ = "1.0.0"

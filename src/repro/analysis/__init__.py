@@ -1,0 +1,25 @@
+"""Post-measurement analyses: the paper's §VII suggestions, quantified."""
+
+from repro.analysis.compare import (
+    AppDelta,
+    SuiteComparison,
+    compare_suites,
+    render_comparison,
+)
+from repro.analysis.coschedule import (
+    CoscheduleReport,
+    complementarity,
+    coscheduling_gain,
+    trough_headroom,
+)
+
+__all__ = [
+    "AppDelta",
+    "CoscheduleReport",
+    "SuiteComparison",
+    "compare_suites",
+    "render_comparison",
+    "complementarity",
+    "coscheduling_gain",
+    "trough_headroom",
+]

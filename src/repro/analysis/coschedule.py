@@ -1,0 +1,123 @@
+"""Complementary-TLP co-scheduling analysis (§VII, first suggestion).
+
+"Applications exhibiting complementary TLP characteristics can be
+scheduled to execute concurrently to achieve best utilization of the
+processor.  For example, HandBrake exhibits high TLP with short
+periods of TLP drop.  The OS could schedule another task during
+troughs in TLP."
+
+Two tools:
+
+* :func:`complementarity` — an *offline* score from two instantaneous
+  TLP series: how much of app B's demand fits into app A's headroom on
+  an ``n``-wide machine.
+* :func:`coscheduling_gain` — an *online* measurement: run the two
+  applications together (shared kernel) and compare achieved combined
+  utilization against the solo runs.
+"""
+
+from dataclasses import dataclass
+
+from repro.harness.colocate import run_colocated
+from repro.harness.runner import run_app_once
+from repro.metrics import instantaneous_tlp
+
+
+def complementarity(series_a, series_b, n_logical):
+    """Fraction of B's CPU demand that fits into A's idle headroom.
+
+    Both series must share the same window step.  Returns a value in
+    [0, 1]: 1.0 means B could run entirely inside A's troughs.
+    """
+    if series_a.step_us != series_b.step_us:
+        raise ValueError("series must share the same window step")
+    windows = min(len(series_a.values), len(series_b.values))
+    if windows == 0:
+        raise ValueError("empty series")
+    fits = 0.0
+    demand = 0.0
+    for index in range(windows):
+        headroom = max(0.0, n_logical - series_a.values[index])
+        want = series_b.values[index]
+        demand += want
+        fits += min(want, headroom)
+    return fits / demand if demand else 1.0
+
+
+@dataclass
+class CoscheduleReport:
+    """Solo-vs-together comparison for two applications."""
+
+    app_a: str
+    app_b: str
+    solo_tlp_a: float
+    solo_tlp_b: float
+    together_tlp_a: float
+    together_tlp_b: float
+    combined_tlp: float
+    #: Average busy logical CPUs over the *whole* window (idle counted),
+    #: the utilization the §VII suggestion is about.
+    solo_busy_a: float
+    solo_busy_b: float
+    together_busy: float
+
+    @property
+    def utilization_gain(self):
+        """Combined busy-CPU average vs the best solo run."""
+        return self.together_busy / max(self.solo_busy_a, self.solo_busy_b)
+
+    @property
+    def slowdown_a(self):
+        """TLP retained by app A when co-scheduled (1.0 = no loss)."""
+        return self.together_tlp_a / self.solo_tlp_a
+
+    @property
+    def slowdown_b(self):
+        return self.together_tlp_b / self.solo_tlp_b
+
+
+def _busy_average(tlp_result, n_logical):
+    """Average number of busy logical CPUs over the full window."""
+    return sum(level * fraction
+               for level, fraction in enumerate(tlp_result.fractions))
+
+
+def coscheduling_gain(app_factory_a, app_factory_b, machine=None,
+                      duration_us=30_000_000, seed=0):
+    """Measure co-scheduling two applications vs running them solo."""
+    solo_a = run_app_once(app_factory_a(), machine=machine,
+                          duration_us=duration_us, seed=seed)
+    solo_b = run_app_once(app_factory_b(), machine=machine,
+                          duration_us=duration_us, seed=seed)
+    together = run_colocated([app_factory_a(), app_factory_b()],
+                             machine=machine, duration_us=duration_us,
+                             seed=seed)
+    name_a, name_b = solo_a.app_name, solo_b.app_name
+    n = len(solo_a.tlp.fractions) - 1
+    return CoscheduleReport(
+        app_a=name_a,
+        app_b=name_b,
+        solo_tlp_a=solo_a.tlp.tlp,
+        solo_tlp_b=solo_b.tlp.tlp,
+        together_tlp_a=together.per_app_tlp[name_a].tlp,
+        together_tlp_b=together.per_app_tlp[name_b].tlp,
+        combined_tlp=together.combined_tlp.tlp,
+        solo_busy_a=_busy_average(solo_a.tlp, n),
+        solo_busy_b=_busy_average(solo_b.tlp, n),
+        together_busy=_busy_average(together.combined_tlp, n),
+    )
+
+
+def trough_headroom(cpu_table, n_logical, processes=None, step_us=250_000,
+                    threshold_fraction=0.5):
+    """Share of windows where the app leaves >50% of the machine idle.
+
+    A direct quantification of "troughs in TLP" the OS could fill.
+    """
+    series = instantaneous_tlp(cpu_table, n_logical, processes=processes,
+                               step_us=step_us)
+    if not series.values:
+        raise ValueError("empty trace")
+    troughs = sum(1 for v in series.values
+                  if v < n_logical * threshold_fraction)
+    return troughs / len(series.values)

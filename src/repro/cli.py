@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    List the 30 benchmark applications with categories and the
+    paper-reported Table II values.
+``run APP``
+    Run one application with the paper protocol and print its metrics
+    (``--cores``, ``--no-smt``, ``--gpu``, ``--duration``,
+    ``--iterations``, ``--manual`` configure the machine and driver).
+``suite``
+    Run the full Table II protocol (or ``--apps a,b,c``) and print the
+    rendered table.
+``system``
+    Print the Table I system specification.
+``compare BEFORE.json AFTER.json``
+    Longitudinal comparison of two stored suite results (the 18-year
+    -perspective workflow, continued).
+"""
+
+import argparse
+import sys
+
+from repro.apps import REGISTRY, SUITE, create_app
+from repro.automation import AUTOIT, MANUAL
+from repro.harness import run_app, run_suite
+from repro.hardware import GPUS, paper_machine
+from repro.reporting import format_table, heat_row, render_table1, render_table2
+from repro.sim import SECOND
+
+
+def _machine_from_args(args):
+    machine = paper_machine()
+    if getattr(args, "gpu", None):
+        machine = machine.with_gpu(GPUS[args.gpu])
+    if getattr(args, "no_smt", False):
+        machine = machine.with_smt(False)
+    if getattr(args, "cores", None):
+        machine = machine.with_logical_cpus(args.cores)
+    return machine
+
+
+def cmd_list(_args, out):
+    rows = [
+        (name, cls.display_name, cls.category.value,
+         f"{cls.paper_tlp:4.1f}", f"{cls.paper_gpu_util:5.1f}")
+        for name, cls in ((key, REGISTRY[key]) for key in SUITE)
+    ]
+    out(format_table(
+        ("key", "application", "category", "TLP*", "GPU%*"), rows,
+        title="Benchmark suite (* = paper-reported Table II values)"))
+    return 0
+
+
+def cmd_system(_args, out):
+    out(render_table1(paper_machine()))
+    return 0
+
+
+def cmd_run(args, out):
+    if args.era == 2010:
+        from repro.apps.era2010 import ERA2010_REGISTRY
+        from repro.hardware import machine_2010
+
+        if args.app not in ERA2010_REGISTRY:
+            out(f"error: unknown 2010-era application {args.app!r}; "
+                f"known: {', '.join(sorted(ERA2010_REGISTRY))}")
+            return 2
+        app = ERA2010_REGISTRY[args.app]()
+        machine = machine_2010()
+    else:
+        if args.app not in REGISTRY:
+            out(f"error: unknown application {args.app!r}; "
+                f"try `python -m repro list`")
+            return 2
+        app = create_app(args.app)
+        machine = _machine_from_args(args)
+    driver = MANUAL if args.manual else AUTOIT
+    result = run_app(app,
+                     machine=machine,
+                     duration_us=int(args.duration * SECOND),
+                     iterations=args.iterations,
+                     driver_mode=driver)
+    out(f"{result.display_name} on {machine.cpu.name} "
+        f"({machine.logical_cpus} LCPUs, SMT "
+        f"{'on' if machine.smt_enabled else 'off'}, {machine.gpu.name})")
+    out(f"  TLP             : {result.tlp}")
+    capped = " (*saturated)" if result.gpu_capped else ""
+    out(f"  GPU utilization : {result.gpu_util}{capped}")
+    out(f"  max instant TLP : {result.max_instantaneous}")
+    out(f"  heat map c0..cN : |{heat_row(result.fractions)}|")
+    printable = {k: v for k, v in result.outputs.items()
+                 if isinstance(v, (int, float, str, bool))}
+    if printable:
+        out(f"  outputs         : {printable}")
+    return 0
+
+
+def cmd_suite(args, out):
+    names = SUITE if not args.apps else tuple(args.apps.split(","))
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        out(f"error: unknown applications: {', '.join(unknown)}")
+        return 2
+    suite = run_suite(names=names,
+                      machine=_machine_from_args(args),
+                      duration_us=int(args.duration * SECOND),
+                      iterations=args.iterations)
+    out(render_table2(suite))
+    if args.json:
+        from repro.harness.persistence import save_suite
+
+        save_suite(suite, args.json,
+                   metadata={"duration_s": args.duration,
+                             "iterations": args.iterations})
+        out(f"saved JSON results to {args.json}")
+    if args.csv:
+        from repro.reporting.export import suite_to_csv
+
+        suite_to_csv(suite, args.csv)
+        out(f"saved CSV results to {args.csv}")
+    return 0
+
+
+def cmd_compare(args, out):
+    from repro.analysis import compare_suites, render_comparison
+    from repro.harness.persistence import load_suite
+
+    comparison = compare_suites(load_suite(args.before),
+                                load_suite(args.after))
+    out(render_comparison(comparison,
+                          title=f"{args.before} -> {args.after}"))
+    improved = comparison.improved(0.2)
+    regressed = comparison.regressed(0.2)
+    if improved:
+        out(f"improved (ΔTLP > 0.2): {', '.join(improved)}")
+    if regressed:
+        out(f"regressed (ΔTLP < -0.2): {', '.join(regressed)}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Parallelism Analysis of Prominent "
+                    "Desktop Applications' (ISPASS 2019)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark applications")
+    sub.add_parser("system", help="print the Table I system spec")
+
+    def add_machine_args(p):
+        p.add_argument("--cores", type=int, default=None,
+                       help="active logical CPUs (default: all 12)")
+        p.add_argument("--no-smt", action="store_true",
+                       help="disable hyper-threading")
+        p.add_argument("--gpu", choices=sorted(GPUS), default=None,
+                       help="installed GPU (default: gtx-1080-ti)")
+        p.add_argument("--duration", type=float, default=60.0,
+                       help="simulated seconds per iteration")
+        p.add_argument("--iterations", type=int, default=3,
+                       help="iterations (paper protocol: 3)")
+
+    run_parser = sub.add_parser("run", help="run one application")
+    run_parser.add_argument("app", help="registry key (see `list`)")
+    run_parser.add_argument("--manual", action="store_true",
+                            help="use the human-jitter input driver")
+    run_parser.add_argument("--era", type=int, choices=(2010, 2018),
+                            default=2018,
+                            help="2010 runs the era model on Blake et "
+                                 "al.'s machine")
+    add_machine_args(run_parser)
+
+    suite_parser = sub.add_parser("suite", help="run the Table II suite")
+    suite_parser.add_argument("--apps", default=None,
+                              help="comma-separated registry keys "
+                                   "(default: all 30)")
+    suite_parser.add_argument("--json", default=None,
+                              help="also save results as JSON")
+    suite_parser.add_argument("--csv", default=None,
+                              help="also save results as CSV")
+    add_machine_args(suite_parser)
+
+    compare_parser = sub.add_parser(
+        "compare", help="compare two stored suite JSON files")
+    compare_parser.add_argument("before", help="baseline suite JSON")
+    compare_parser.add_argument("after", help="new suite JSON")
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "system": cmd_system,
+    "run": cmd_run,
+    "suite": cmd_suite,
+    "compare": cmd_compare,
+}
+
+
+def main(argv=None, out=print):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Reference datasets: prior-work numbers and paper-reported values."""
+
+from repro.data.historical import (
+    BLAKE_2010_GPU,
+    BLAKE_2010_TLP,
+    FIG2_LINEAGES,
+    FIG3_LINEAGES,
+    FLAUTNER_2000_TLP,
+    PAPER_CATEGORY_AVERAGES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    historical_gpu,
+    historical_tlp,
+)
+
+__all__ = [
+    "BLAKE_2010_GPU",
+    "BLAKE_2010_TLP",
+    "FIG2_LINEAGES",
+    "FIG3_LINEAGES",
+    "FLAUTNER_2000_TLP",
+    "PAPER_CATEGORY_AVERAGES",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "historical_gpu",
+    "historical_tlp",
+]

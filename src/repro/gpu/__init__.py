@@ -1,0 +1,27 @@
+"""GPU device model: engines, command packets, utilization, mining."""
+
+from repro.gpu.device import (
+    ALL_ENGINES,
+    ENGINE_3D,
+    ENGINE_COMPUTE,
+    ENGINE_COPY,
+    ENGINE_VIDEO_DECODE,
+    ENGINE_VIDEO_ENCODE,
+    GpuDevice,
+    GpuEngine,
+)
+from repro.gpu.mining import BATCH_REF_US, HASHES_PER_BATCH, MiningStats
+
+__all__ = [
+    "ALL_ENGINES",
+    "BATCH_REF_US",
+    "ENGINE_3D",
+    "ENGINE_COMPUTE",
+    "ENGINE_COPY",
+    "ENGINE_VIDEO_DECODE",
+    "ENGINE_VIDEO_ENCODE",
+    "GpuDevice",
+    "GpuEngine",
+    "HASHES_PER_BATCH",
+    "MiningStats",
+]

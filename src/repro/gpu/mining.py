@@ -1,0 +1,48 @@
+"""Hash-rate accounting for cryptocurrency mining workloads.
+
+The paper reports mining performance as a *hash rate* alongside GPU
+utilization (§V-D.2: the GTX 680's hash rate is at least 2x lower than
+the 1080 Ti's even at equal utilization).  Miners submit fixed-size
+kernel batches; this module converts executed batches into hash rates.
+"""
+
+from dataclasses import dataclass
+
+#: Hashes per mining kernel batch at reference size.  The absolute
+#: numbers are calibrated so the GTX 1080 Ti lands near its published
+#: rates (~32 MH/s ethash, ~1.1 GH/s sha256d via cuda kernels).
+HASHES_PER_BATCH = {
+    "ethash": 6_400_000,
+    "sha256d": 220_000_000,
+}
+
+#: Nominal batch execution time on the reference GTX 1080 Ti (µs).
+BATCH_REF_US = {
+    "ethash": 200_000,
+    "sha256d": 200_000,
+}
+
+
+@dataclass
+class MiningStats:
+    """Counters a miner accumulates while running."""
+
+    algorithm: str
+    batches: int = 0
+    cpu_hashes: float = 0.0
+
+    def add_batch(self, count=1):
+        self.batches += count
+
+    def add_cpu_hashes(self, hashes):
+        self.cpu_hashes += hashes
+
+    def gpu_hashes(self):
+        return self.batches * HASHES_PER_BATCH[self.algorithm]
+
+    def hash_rate(self, elapsed_us):
+        """Total hashes per second over ``elapsed_us``."""
+        if elapsed_us <= 0:
+            raise ValueError("elapsed time must be positive")
+        total = self.gpu_hashes() + self.cpu_hashes
+        return total / (elapsed_us / 1_000_000.0)

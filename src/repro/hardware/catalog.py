@@ -1,0 +1,118 @@
+"""Catalog of the concrete hardware used across the paper's 18 years.
+
+Sources: Table I of the paper (2018 machine), Blake et al. ISCA'10
+(2010 machine), Flautner et al. ASPLOS'00 (2000 machine), and the
+NVIDIA specification sheets the paper cites for the GTX 285/680/1080Ti.
+"""
+
+from repro.hardware.specs import CpuSpec, GpuSpec, MachineSpec
+from repro.os.work import WorkClass
+
+#: Combined two-sibling throughput per work class, relative to a lone
+#: thread.  FU-bound encode loops lose throughput under SMT (the Fig. 8
+#: result); memory-bound work gains from latency hiding.
+_SMT_THROUGHPUT = {
+    WorkClass.FU_BOUND: 0.94,
+    WorkClass.BALANCED: 1.18,
+    WorkClass.MEMORY_BOUND: 1.38,
+    WorkClass.UI: 1.05,
+}
+
+#: Intel Core i7-8700K — the paper's 2018 benchmarking CPU (Table I).
+CORE_I7_8700K = CpuSpec(
+    name="Intel Core i7-8700K",
+    physical_cores=6,
+    smt_ways=2,
+    base_clock_ghz=3.70,
+    turbo_clock_ghz=4.70,
+    llc_mb=12,
+    smt_throughput=dict(_SMT_THROUGHPUT),
+)
+
+#: Dual-socket Xeon from Blake et al. 2010 (4 cores x 2 sockets, SMT).
+XEON_2010 = CpuSpec(
+    name="Dual Intel Xeon E5520 (2010 testbed)",
+    physical_cores=8,
+    smt_ways=2,
+    base_clock_ghz=2.26,
+    turbo_clock_ghz=2.26,
+    llc_mb=8,
+    smt_throughput=dict(_SMT_THROUGHPUT),
+)
+
+#: Late-1990s SMP used by Flautner et al.; uniprocessor-era reference.
+SMP_2000 = CpuSpec(
+    name="Quad Pentium SMP (2000 testbed)",
+    physical_cores=4,
+    smt_ways=1,
+    base_clock_ghz=0.55,
+    turbo_clock_ghz=0.55,
+    llc_mb=2,
+    smt_throughput={},
+)
+
+#: NVIDIA GTX 1080 Ti — the paper's high-end GPU (3584 cores @ 1481 MHz).
+GTX_1080_TI = GpuSpec(
+    name="NVIDIA GTX 1080 Ti",
+    cuda_cores=3584,
+    clock_mhz=1481,
+    architecture="Pascal",
+    vram_gb=11,
+    has_nvenc=True,
+    mining_optimized=True,
+    vr_capable=True,
+)
+
+#: NVIDIA GTX 680 — the paper's mid-end comparison GPU (Kepler).
+#: Kepler predates the cryptocurrency boom; the paper attributes the
+#: lower Ethereum-miner utilization on this card to the architecture
+#: not being optimized for mining workloads.
+GTX_680 = GpuSpec(
+    name="NVIDIA GTX 680",
+    cuda_cores=1536,
+    clock_mhz=1006,
+    architecture="Kepler",
+    vram_gb=2,
+    has_nvenc=True,
+    mining_optimized=False,
+    vr_capable=False,  # below the GTX 970 floor required for VR
+    video_engine_slowdown=2.2,  # Kepler-era VP5/NVENC vs Pascal
+)
+
+#: NVIDIA GTX 285 — used by Blake et al. in 2010 (240 cores @ 648 MHz).
+GTX_285 = GpuSpec(
+    name="NVIDIA GTX 285",
+    cuda_cores=240,
+    clock_mhz=648,
+    architecture="Tesla",
+    vram_gb=1,
+    has_nvenc=False,
+    mining_optimized=False,
+    vr_capable=False,
+    video_engine_slowdown=4.0,  # Tesla-era VP2
+)
+
+
+def paper_machine():
+    """The 2018 benchmarking desktop of Table I (12 LCPUs, 1080 Ti)."""
+    return MachineSpec(cpu=CORE_I7_8700K, gpu=GTX_1080_TI, ram_gb=64)
+
+
+def machine_2010():
+    """Blake et al.'s 2010 testbed (8C/16T Xeon, GTX 285, 6 GB RAM)."""
+    return MachineSpec(cpu=XEON_2010, gpu=GTX_285, ram_gb=6,
+                       os_name="Windows 7")
+
+
+def machine_2000():
+    """Flautner et al.'s 2000-era SMP reference machine."""
+    return MachineSpec(cpu=SMP_2000, gpu=GTX_285, ram_gb=1,
+                       os_name="Linux 2.2 / Windows 2000")
+
+
+#: Name -> GpuSpec lookup used by the harness CLI and benches.
+GPUS = {
+    "gtx-1080-ti": GTX_1080_TI,
+    "gtx-680": GTX_680,
+    "gtx-285": GTX_285,
+}

@@ -1,0 +1,120 @@
+"""Hardware specification dataclasses.
+
+These describe the *capabilities* of the machine being simulated; the
+behavioural models live in :mod:`repro.os` (CPU scheduling) and
+:mod:`repro.gpu` (GPU packet execution).
+"""
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU package.
+
+    ``smt_throughput`` maps a work class (see :mod:`repro.os.work`) to
+    the *combined* throughput of two hardware threads sharing a
+    physical core, relative to one thread running alone.  Values below
+    1.0 mean SMT hurts (functional-unit contention dominates), values
+    above 1.0 mean SMT helps (latency hiding dominates).  This is the
+    knob behind the paper's Fig. 8 finding that SMT lowers HandBrake's
+    transcode rate.
+    """
+
+    name: str
+    physical_cores: int
+    smt_ways: int
+    base_clock_ghz: float
+    turbo_clock_ghz: float
+    llc_mb: int
+    smt_throughput: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.physical_cores < 1:
+            raise ValueError("physical_cores must be >= 1")
+        if self.smt_ways < 1:
+            raise ValueError("smt_ways must be >= 1")
+
+    @property
+    def logical_cpus(self):
+        """Total hardware threads exposed by this package."""
+        return self.physical_cores * self.smt_ways
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A discrete GPU.
+
+    ``compute_throughput`` is normalized so the GTX 1080 Ti is 1.0 —
+    packet service times on other devices scale by the inverse ratio,
+    which is what produces the paper's Fig. 10 utilization contrast
+    between the GTX 680 and the GTX 1080 Ti.
+    """
+
+    name: str
+    cuda_cores: int
+    clock_mhz: int
+    architecture: str
+    vram_gb: int
+    has_nvenc: bool = True
+    mining_optimized: bool = True
+    vr_capable: bool = True
+    #: Slowdown of the fixed-function video engines (NVDEC/NVENC)
+    #: relative to Pascal's — older generations decode/encode slower,
+    #: though far less than the CUDA-core gap.
+    video_engine_slowdown: float = 1.0
+
+    @property
+    def raw_rate(self):
+        """CUDA cores x clock, the first-order throughput proxy."""
+        return self.cuda_cores * self.clock_mhz
+
+    def throughput_relative_to(self, other):
+        """Throughput of this device relative to ``other``."""
+        return self.raw_rate / other.raw_rate
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete benchmarking machine: CPU + GPU + platform config.
+
+    ``active_logical_cpus`` models the paper's core-scaling experiments
+    where only 4/8/12 logical CPUs are enabled; ``smt_enabled=False``
+    exposes one hardware thread per physical core.
+    """
+
+    cpu: CpuSpec
+    gpu: GpuSpec
+    ram_gb: int = 64
+    os_name: str = "Windows 10 Education 1803"
+    active_logical_cpus: int = 0  # 0 means "all"
+    smt_enabled: bool = True
+
+    def __post_init__(self):
+        limit = self.cpu.logical_cpus if self.smt_enabled else self.cpu.physical_cores
+        if self.active_logical_cpus < 0 or self.active_logical_cpus > limit:
+            raise ValueError(
+                f"active_logical_cpus={self.active_logical_cpus} outside 0..{limit}")
+
+    @property
+    def logical_cpus(self):
+        """Number of schedulable logical CPUs in this configuration."""
+        limit = self.cpu.logical_cpus if self.smt_enabled else self.cpu.physical_cores
+        return self.active_logical_cpus or limit
+
+    @property
+    def smt_ways(self):
+        """Hardware threads per physical core in this configuration."""
+        return self.cpu.smt_ways if self.smt_enabled else 1
+
+    def with_logical_cpus(self, count):
+        """A copy of this machine restricted to ``count`` logical CPUs."""
+        return replace(self, active_logical_cpus=count)
+
+    def with_smt(self, enabled):
+        """A copy of this machine with SMT toggled."""
+        return replace(self, smt_enabled=enabled, active_logical_cpus=0)
+
+    def with_gpu(self, gpu):
+        """A copy of this machine with a different GPU installed."""
+        return replace(self, gpu=gpu)

@@ -1,0 +1,170 @@
+"""Experiment runner: boot machine, run testbench, measure, repeat.
+
+One :func:`run_app_once` call is the paper's Fig. 1 workflow end to
+end: start trace -> run testbench -> stop trace -> WPA extraction ->
+TLP / GPU-utilization computation.  :func:`run_app` repeats it for N
+iterations with derived seeds and reports mean / sigma, exactly like
+the three-iteration protocol behind Table II.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.automation import AUTOIT, InputDriver
+from repro.apps.base import AppRuntime
+from repro.gpu import GpuDevice
+from repro.hardware import paper_machine
+from repro.metrics import (
+    Summary,
+    measure_gpu_utilization,
+    measure_tlp,
+    summarize,
+)
+from repro.os import Kernel
+from repro.sim import SECOND, Environment
+from repro.trace import CpuUsagePreciseTable, GpuUtilizationTable, TraceSession
+
+#: Default testbench length (simulated).  The paper traces runs of a
+#: few minutes; 60 simulated seconds keeps every behavioural phase
+#: while staying fast to simulate.
+DEFAULT_DURATION_US = 60 * SECOND
+#: Iterations per measurement, as in the paper.
+DEFAULT_ITERATIONS = 3
+
+
+@dataclass
+class SingleRun:
+    """Raw artifacts of one traced testbench run."""
+
+    app_name: str
+    seed: int
+    duration_us: int
+    tlp: object                 # metrics.TlpResult
+    gpu_util: object            # metrics.GpuUtilResult
+    outputs: dict
+    process_names: set
+    memory_counters: object     # os.ProcessCounters (aggregated)
+    energy: object = None       # os.EnergyReport for the app's processes
+    trace: object = None        # EtlTrace, only when keep_trace=True
+    cpu_table: object = None
+    gpu_table: object = None
+    frames: list = field(default_factory=list)
+    marks: list = field(default_factory=list)
+
+
+@dataclass
+class AppResult:
+    """Mean/sigma across iterations — one row of Table II."""
+
+    app_name: str
+    display_name: str
+    category: object
+    tlp: Summary
+    gpu_util: Summary
+    fractions: list             # mean c_0..c_n across iterations
+    max_instantaneous: int
+    gpu_capped: bool
+    runs: list
+
+    @property
+    def outputs(self):
+        """Outputs of the first iteration (deterministic headline run)."""
+        return self.runs[0].outputs
+
+
+def run_app_once(app, machine=None, duration_us=DEFAULT_DURATION_US,
+                 seed=0, driver_mode=AUTOIT, keep_trace=False,
+                 gpu_method="sum", background_services=True, turbo=True,
+                 dispatch_policy="spread", quantum=None):
+    """Run one traced iteration of ``app`` and measure it."""
+    machine = machine or paper_machine()
+    env = Environment()
+    session = TraceSession(env, machine_name=machine.cpu.name)
+    kernel = Kernel(env, machine, session=session, seed=seed, turbo=turbo,
+                    dispatch_policy=dispatch_policy, quantum=quantum)
+    if background_services:
+        kernel.start_background_services()
+    gpu = GpuDevice(env, machine.gpu, session)
+    driver = InputDriver(kernel, mode=driver_mode, seed=seed + 7)
+    runtime = AppRuntime(kernel, gpu, driver, duration_us, seed=seed)
+
+    session.start()
+    app.build(runtime)
+    env.run(until=runtime.end_time)
+    trace = session.stop()
+
+    cpu_table = CpuUsagePreciseTable.from_trace(trace)
+    gpu_table = GpuUtilizationTable.from_trace(trace)
+    processes = runtime.process_names
+    tlp = measure_tlp(cpu_table, machine.logical_cpus, processes=processes)
+    gpu_util = measure_gpu_utilization(gpu_table, processes=processes,
+                                       method=gpu_method)
+    memory = _aggregate_counters(kernel.memory_model, processes)
+    energy = kernel.energy_model.report(duration_us, gpu_device=gpu,
+                                        processes=processes)
+    return SingleRun(
+        app_name=app.name,
+        seed=seed,
+        duration_us=duration_us,
+        tlp=tlp,
+        gpu_util=gpu_util,
+        outputs=dict(runtime.outputs),
+        process_names=set(processes),
+        memory_counters=memory,
+        energy=energy,
+        trace=trace if keep_trace else None,
+        cpu_table=cpu_table if keep_trace else None,
+        gpu_table=gpu_table if keep_trace else None,
+        frames=[f for f in trace.frames if f.process in processes],
+        marks=[m for m in trace.marks if m.process in processes],
+    )
+
+
+def _aggregate_counters(memory_model, processes):
+    """Merge per-process memory counters over the app's processes."""
+    from repro.os.memmodel import ProcessCounters
+
+    merged = ProcessCounters()
+    for name in processes:
+        counters = memory_model.counters(name)
+        merged.work_us += counters.work_us
+        merged.contended_us += counters.contended_us
+        merged.llc_misses += counters.llc_misses
+        merged.l1_stall_us += counters.l1_stall_us
+        for work_class, amount in counters.by_class.items():
+            merged.by_class[work_class] = (
+                merged.by_class.get(work_class, 0) + amount)
+    return merged
+
+
+def run_app(app, machine=None, duration_us=DEFAULT_DURATION_US,
+            iterations=DEFAULT_ITERATIONS, base_seed=100,
+            driver_mode=AUTOIT, keep_trace=False, gpu_method="sum",
+            turbo=True, dispatch_policy="spread", quantum=None):
+    """Run ``iterations`` seeded repetitions and summarize them."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    runs = [
+        run_app_once(app, machine=machine, duration_us=duration_us,
+                     seed=base_seed + 17 * k, driver_mode=driver_mode,
+                     keep_trace=keep_trace, gpu_method=gpu_method,
+                     turbo=turbo, dispatch_policy=dispatch_policy,
+                     quantum=quantum)
+        for k in range(iterations)
+    ]
+    n_levels = max(len(r.tlp.fractions) for r in runs)
+    fractions = [
+        sum(r.tlp.fractions[i] if i < len(r.tlp.fractions) else 0.0
+            for r in runs) / len(runs)
+        for i in range(n_levels)
+    ]
+    return AppResult(
+        app_name=app.name,
+        display_name=app.display_name,
+        category=app.category,
+        tlp=summarize([r.tlp.tlp for r in runs]),
+        gpu_util=summarize([r.gpu_util.utilization_pct for r in runs]),
+        fractions=fractions,
+        max_instantaneous=max(r.tlp.max_instantaneous for r in runs),
+        gpu_capped=any(r.gpu_util.capped for r in runs),
+        runs=runs,
+    )

@@ -1,0 +1,57 @@
+"""Full-suite execution: the Table II protocol.
+
+Runs every application in the registry for N iterations on the paper
+machine and aggregates per-category averages, the overall average TLP
+and the TLP > 4 count the paper's abstract headlines.
+"""
+
+from dataclasses import dataclass
+
+from repro.apps import CATEGORIES, SUITE, create_app
+from repro.harness.runner import DEFAULT_DURATION_US, DEFAULT_ITERATIONS, run_app
+from repro.metrics import mean
+
+
+@dataclass
+class SuiteResult:
+    """Results for every application plus the aggregate views."""
+
+    results: dict                # app key -> AppResult
+
+    def category_averages(self):
+        """{Category: (avg TLP, avg GPU util)} — Table II's last columns."""
+        averages = {}
+        for category, names in CATEGORIES.items():
+            rows = [self.results[name] for name in names
+                    if name in self.results]
+            if rows:
+                averages[category] = (
+                    mean(r.tlp.mean for r in rows),
+                    mean(r.gpu_util.mean for r in rows),
+                )
+        return averages
+
+    def overall_average_tlp(self):
+        """The abstract's headline: average TLP across all apps."""
+        return mean(r.tlp.mean for r in self.results.values())
+
+    def apps_with_tlp_above(self, threshold=4.0):
+        """The paper reports 6 of 30 applications above TLP 4."""
+        return [name for name, r in self.results.items()
+                if r.tlp.mean > threshold]
+
+    def apps_reaching_max_tlp(self, n_logical=12):
+        """Applications whose instantaneous TLP touches the maximum."""
+        return [name for name, r in self.results.items()
+                if r.max_instantaneous >= n_logical]
+
+
+def run_suite(names=SUITE, machine=None, duration_us=DEFAULT_DURATION_US,
+              iterations=DEFAULT_ITERATIONS, **kwargs):
+    """Run the Table II protocol over ``names`` and aggregate."""
+    results = {}
+    for name in names:
+        results[name] = run_app(create_app(name), machine=machine,
+                                duration_us=duration_us,
+                                iterations=iterations, **kwargs)
+    return SuiteResult(results=results)

@@ -1,0 +1,65 @@
+"""Parameter sweeps: core scaling, SMT, GPU swap.
+
+These drive the paper's architectural-decision experiments:
+
+* :func:`core_scaling_sweep` — Fig. 4 (TLP at 4/8/12 logical CPUs) and
+  the per-application time plots of Figs. 5-7.
+* :func:`smt_sweep` — Fig. 8 (transcode rate and GPU utilization at
+  2/4/6 physical cores, SMT on/off, two GPUs).
+* :func:`gpu_swap_sweep` — Figs. 9-10 (GTX 680 vs GTX 1080 Ti).
+"""
+
+from repro.hardware import GTX_1080_TI, GTX_680, paper_machine
+from repro.harness.runner import DEFAULT_DURATION_US, run_app, run_app_once
+
+
+def core_scaling_sweep(app_factory, logical_cpus=(4, 8, 12), machine=None,
+                       duration_us=DEFAULT_DURATION_US, iterations=1,
+                       **kwargs):
+    """Run an app at several logical-CPU counts (SMT enabled).
+
+    ``app_factory`` is a zero-argument callable returning a *fresh*
+    application model (models may carry per-run state).  Returns an
+    ordered dict ``{count: AppResult}``.
+    """
+    base = machine or paper_machine()
+    results = {}
+    for count in logical_cpus:
+        results[count] = run_app(
+            app_factory(), machine=base.with_logical_cpus(count),
+            duration_us=duration_us, iterations=iterations, **kwargs)
+    return results
+
+
+def smt_sweep(app_factory, physical_cores=(2, 4, 6), gpus=None,
+              duration_us=DEFAULT_DURATION_US, seed=11, **kwargs):
+    """The Fig. 8 grid: physical cores x SMT on/off x GPU model.
+
+    Returns ``{(gpu_name, smt_enabled, cores): SingleRun}``.  With SMT
+    on, ``cores`` physical cores expose ``2*cores`` logical CPUs; with
+    SMT off they expose ``cores``.
+    """
+    gpus = gpus or (GTX_1080_TI, GTX_680)
+    results = {}
+    for gpu in gpus:
+        base = paper_machine().with_gpu(gpu)
+        for smt in (True, False):
+            for cores in physical_cores:
+                machine = base.with_smt(smt).with_logical_cpus(
+                    cores * (2 if smt else 1))
+                results[(gpu.name, smt, cores)] = run_app_once(
+                    app_factory(), machine=machine,
+                    duration_us=duration_us, seed=seed, **kwargs)
+    return results
+
+
+def gpu_swap_sweep(app_factory, gpus=None, duration_us=DEFAULT_DURATION_US,
+                   iterations=1, **kwargs):
+    """Run an app on each GPU; returns ``{gpu_name: AppResult}``."""
+    gpus = gpus or (GTX_680, GTX_1080_TI)
+    results = {}
+    for gpu in gpus:
+        results[gpu.name] = run_app(
+            app_factory(), machine=paper_machine().with_gpu(gpu),
+            duration_us=duration_us, iterations=iterations, **kwargs)
+    return results

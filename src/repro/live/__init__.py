@@ -1,0 +1,5 @@
+"""Live measurement of real processes (Linux /proc TLP sampler)."""
+
+from repro.live.sampler import LinuxTlpSampler, child_pids, running_threads
+
+__all__ = ["LinuxTlpSampler", "child_pids", "running_threads"]

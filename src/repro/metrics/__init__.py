@@ -1,0 +1,56 @@
+"""Measurement metrics: TLP (Eq. 1), GPU utilization, time series."""
+
+from repro.metrics.gpu import GpuUtilResult, cross_validate, measure_gpu_utilization
+from repro.metrics.intervals import (
+    clip,
+    concurrency_profile,
+    max_concurrency,
+    union_length,
+)
+from repro.metrics.responsiveness import (
+    ResponseLatency,
+    pair_marks,
+    percentile,
+    response_summary,
+    tail_latency,
+)
+from repro.metrics.stats import Summary, mean, relative_difference_pct, summarize
+from repro.metrics.timeseries import (
+    TimeSeries,
+    frame_rate_series,
+    instantaneous_gpu_utilization,
+    instantaneous_tlp,
+)
+from repro.metrics.tlp import (
+    TlpResult,
+    busy_intervals_by_cpu,
+    measure_tlp,
+    tlp_from_fractions,
+)
+
+__all__ = [
+    "GpuUtilResult",
+    "ResponseLatency",
+    "Summary",
+    "TimeSeries",
+    "TlpResult",
+    "busy_intervals_by_cpu",
+    "clip",
+    "concurrency_profile",
+    "cross_validate",
+    "frame_rate_series",
+    "instantaneous_gpu_utilization",
+    "instantaneous_tlp",
+    "max_concurrency",
+    "mean",
+    "pair_marks",
+    "percentile",
+    "measure_gpu_utilization",
+    "measure_tlp",
+    "relative_difference_pct",
+    "response_summary",
+    "summarize",
+    "tail_latency",
+    "tlp_from_fractions",
+    "union_length",
+]

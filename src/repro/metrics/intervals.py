@@ -1,0 +1,64 @@
+"""Sweep-line helpers over time intervals.
+
+Everything in the metrics layer reduces to questions about sets of
+``(start, stop)`` busy intervals: how long were exactly *k* of them
+active (concurrency profile), and how long was at least one active
+(union length).
+"""
+
+
+def clip(intervals, window_start, window_stop):
+    """Clip intervals to a window, dropping empty results."""
+    clipped = []
+    for start, stop in intervals:
+        lo = max(start, window_start)
+        hi = min(stop, window_stop)
+        if hi > lo:
+            clipped.append((lo, hi))
+    return clipped
+
+
+def concurrency_profile(intervals, window_start, window_stop):
+    """Time spent at each concurrency level within the window.
+
+    Returns a dict ``{level: microseconds}`` where ``level`` counts how
+    many intervals overlap; level 0 covers the remainder of the window.
+    """
+    if window_stop < window_start:
+        raise ValueError("window_stop before window_start")
+    total = window_stop - window_start
+    profile = {0: total}
+    events = []
+    for start, stop in clip(intervals, window_start, window_stop):
+        events.append((start, 1))
+        events.append((stop, -1))
+    if not events:
+        return profile
+    events.sort()
+    level = 0
+    covered = 0
+    prev_time = events[0][0]
+    for time, delta in events:
+        if time > prev_time:
+            span = time - prev_time
+            profile[level] = profile.get(level, 0) + span
+            if level > 0:
+                covered += span
+            prev_time = time
+        level += delta
+    profile[0] = total - covered
+    return profile
+
+
+def union_length(intervals, window_start, window_stop):
+    """Length of the union of intervals within the window."""
+    profile = concurrency_profile(intervals, window_start, window_stop)
+    return sum(length for level, length in profile.items() if level > 0)
+
+
+def max_concurrency(intervals, window_start, window_stop):
+    """Peak number of simultaneously active intervals in the window."""
+    profile = concurrency_profile(intervals, window_start, window_stop)
+    active_levels = [level for level, length in profile.items()
+                     if level > 0 and length > 0]
+    return max(active_levels, default=0)

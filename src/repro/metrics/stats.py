@@ -1,0 +1,54 @@
+"""Small statistics helpers for multi-iteration experiments.
+
+The paper runs every testbench three times and reports mean and
+standard deviation (Table II's "Avg." and "sigma" columns), concluding
+from the low sigmas that the measurements are consistent.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / population standard deviation over iterations."""
+
+    mean: float
+    std: float
+    n: int
+    minimum: float
+    maximum: float
+
+    def __str__(self):
+        return f"{self.mean:.1f} ± {self.std:.2f} (n={self.n})"
+
+
+def summarize(values):
+    """Summarize an iterable of numbers (population sigma, as a
+    fixed small sample of repeated runs)."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sequence")
+    mean = sum(data) / len(data)
+    variance = sum((v - mean) ** 2 for v in data) / len(data)
+    return Summary(
+        mean=mean,
+        std=math.sqrt(variance),
+        n=len(data),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def mean(values):
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot average an empty sequence")
+    return sum(data) / len(data)
+
+
+def relative_difference_pct(a, b):
+    """Percent difference of ``a`` relative to ``b``."""
+    if b == 0:
+        raise ValueError("reference value is zero")
+    return 100.0 * (a - b) / b

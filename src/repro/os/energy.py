@@ -1,0 +1,117 @@
+"""A first-order CPU/GPU energy model.
+
+The paper touches energy twice: dark silicon / TDP motivates the whole
+study, and §V-E cites Microsoft's measurement that Edge consumes 36%
+less power than Chrome and 53% less than Firefox during browsing.  We
+add a simple activity-based energy estimator so those comparisons can
+be made inside the simulation:
+
+* each logical CPU draws ``idle`` power always, plus ``active`` power
+  scaled by the work class (FU-bound code lights up more of the core)
+  and the current clock,
+* the GPU draws idle power plus a share of its TDP proportional to
+  engine busy time.
+
+Absolute joules are nominal; the model is for *comparisons* (which
+browser, which core count, SMT on/off), like every other metric here.
+"""
+
+from dataclasses import dataclass
+
+from repro.os.work import WorkClass
+
+#: Nominal per-logical-CPU active power (W) by work class, at base clock.
+_ACTIVE_POWER_W = {
+    WorkClass.FU_BOUND: 8.5,
+    WorkClass.MEMORY_BOUND: 5.5,
+    WorkClass.BALANCED: 7.0,
+    WorkClass.UI: 6.0,
+}
+#: Package idle power (W) split across logical CPUs.
+_CPU_IDLE_W = 6.0
+#: Dynamic power scales roughly with f^2 at fixed voltage headroom.
+_CLOCK_EXPONENT = 2.0
+
+#: GPU TDPs (W) by architecture for the busy share.
+_GPU_TDP_W = {"Pascal": 250.0, "Kepler": 195.0, "Tesla": 204.0}
+_GPU_IDLE_W = 12.0
+
+
+@dataclass
+class EnergyReport:
+    """Joules consumed over a measurement window."""
+
+    cpu_active_j: float
+    cpu_idle_j: float
+    gpu_active_j: float
+    gpu_idle_j: float
+    window_us: int
+
+    @property
+    def cpu_j(self):
+        return self.cpu_active_j + self.cpu_idle_j
+
+    @property
+    def gpu_j(self):
+        return self.gpu_active_j + self.gpu_idle_j
+
+    @property
+    def total_j(self):
+        return self.cpu_j + self.gpu_j
+
+    @property
+    def average_power_w(self):
+        if self.window_us <= 0:
+            return 0.0
+        return self.total_j / (self.window_us / 1_000_000.0)
+
+
+class EnergyModel:
+    """Accumulates CPU slice energy; reads GPU energy from the device."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._active_j = 0.0
+        self._by_process = {}
+
+    def record_slice(self, process_name, work_class, wall_us, clock_factor):
+        """Called per scheduling slice (same stream the memory model
+        sees); ``clock_factor`` is the turbo multiplier at dispatch."""
+        power = (_ACTIVE_POWER_W[work_class]
+                 * clock_factor ** _CLOCK_EXPONENT)
+        joules = power * wall_us / 1_000_000.0
+        self._active_j += joules
+        self._by_process[process_name] = (
+            self._by_process.get(process_name, 0.0) + joules)
+
+    def process_active_j(self, process_name):
+        """Active CPU joules attributed to one process."""
+        return self._by_process.get(process_name, 0.0)
+
+    def report(self, window_us, gpu_device=None, processes=None):
+        """Build an :class:`EnergyReport` for a window.
+
+        With ``processes`` set, active CPU energy is restricted to
+        those processes (idle power is still whole-package — it exists
+        whether or not the app runs, like in a wall-plug measurement).
+        """
+        if processes is None:
+            active = self._active_j
+        else:
+            active = sum(self._by_process.get(name, 0.0)
+                         for name in processes)
+        seconds = window_us / 1_000_000.0
+        cpu_idle = _CPU_IDLE_W * seconds
+        gpu_active = 0.0
+        gpu_idle = _GPU_IDLE_W * seconds
+        if gpu_device is not None:
+            tdp = _GPU_TDP_W.get(gpu_device.spec.architecture, 220.0)
+            busy_fraction = min(1.0, gpu_device.busy_us() / max(1, window_us))
+            gpu_active = (tdp - _GPU_IDLE_W) * busy_fraction * seconds
+        return EnergyReport(
+            cpu_active_j=active,
+            cpu_idle_j=cpu_idle,
+            gpu_active_j=gpu_active,
+            gpu_idle_j=gpu_idle,
+            window_us=window_us,
+        )

@@ -1,0 +1,279 @@
+"""The CPU scheduler: logical CPUs, SMT-aware dispatch, preemption.
+
+Responsibilities:
+
+* maintain the logical-CPU topology for the active machine
+  configuration (core scaling enables whole physical cores first, as
+  Windows does when restricting the affinity mask);
+* dispatch ready threads to idle logical CPUs, preferring CPUs whose
+  SMT sibling is idle (spreading across physical cores first);
+* time-slice when runnable threads outnumber CPUs (round-robin with a
+  Windows-like quantum);
+* scale execution speed for SMT sibling contention and turbo clocks;
+* emit one context-switch trace record per scheduling interval.
+"""
+
+import math
+from collections import deque
+
+from repro.os.threads import ThreadState
+from repro.os.work import smt_pair_throughput
+from repro.sim import MS
+from repro.sim.exceptions import Interrupt
+
+#: Windows' foreground quantum is ~2 clock ticks (~31 ms); we use a
+#: tighter 15 ms slice, matching the timer-tick granularity the paper's
+#: ETW traces resolve.
+DEFAULT_QUANTUM = 15 * MS
+
+#: Uncontended threads still re-enter the scheduler at this period so
+#: SMT-sibling speed factors are resampled while conditions change.
+RESAMPLE_PERIOD = 50 * MS
+
+#: Thread priority levels: latency-critical threads (VR compositor,
+#: audio render) are dispatched before normal work when CPUs are scarce.
+PRIORITY_NORMAL = 0
+PRIORITY_HIGH = 1
+
+
+class LogicalCpu:
+    """One schedulable hardware thread."""
+
+    __slots__ = ("index", "core", "way", "thread", "work_class")
+
+    def __init__(self, index, core, way):
+        self.index = index
+        self.core = core
+        self.way = way
+        self.thread = None
+        self.work_class = None
+
+    @property
+    def idle(self):
+        return self.thread is None
+
+    def __repr__(self):
+        return f"<LCPU {self.index} core={self.core} way={self.way}>"
+
+
+def build_topology(machine):
+    """Enumerate the active logical CPUs for a machine configuration.
+
+    Logical CPUs are enumerated core-major (core0-way0, core0-way1,
+    core1-way0, ...) so that restricting to N logical CPUs with SMT on
+    yields N/2 fully-enabled physical cores — the configuration used in
+    the paper's core-scaling experiments.
+    """
+    lcpus = []
+    index = 0
+    ways = machine.smt_ways
+    for core in range(machine.cpu.physical_cores):
+        for way in range(ways):
+            lcpus.append(LogicalCpu(index, core, way))
+            index += 1
+    return lcpus[:machine.logical_cpus]
+
+
+class Scheduler:
+    """SMT-aware round-robin scheduler over the active logical CPUs."""
+
+    #: Dispatch policies: "spread" prefers fully-idle physical cores
+    #: (Windows-like, the default); "fill" takes the first idle logical
+    #: CPU, packing SMT siblings early — kept as an ablation knob for
+    #: the SMT analysis.
+    POLICIES = ("spread", "fill")
+
+    def __init__(self, env, machine, session, memory_model=None,
+                 energy_model=None, quantum=DEFAULT_QUANTUM, turbo=True,
+                 dispatch_policy="spread"):
+        if dispatch_policy not in self.POLICIES:
+            raise ValueError(f"unknown dispatch policy {dispatch_policy!r}")
+        self.env = env
+        self.machine = machine
+        self.session = session
+        self.memory_model = memory_model
+        self.energy_model = energy_model
+        self.quantum = quantum
+        self.turbo = turbo
+        self.dispatch_policy = dispatch_policy
+        self.lcpus = build_topology(machine)
+        self._siblings = self._map_siblings()
+        self._ready = deque()
+        #: Total nominal work retired, per process name (for throughput
+        #: metrics like transcode rate sanity checks).
+        self.retired_work = {}
+
+    def _map_siblings(self):
+        by_core = {}
+        for lcpu in self.lcpus:
+            by_core.setdefault(lcpu.core, []).append(lcpu)
+        siblings = {}
+        for mates in by_core.values():
+            for lcpu in mates:
+                siblings[lcpu.index] = [m for m in mates if m is not lcpu]
+        return siblings
+
+    # -- state inspection ----------------------------------------------
+
+    @property
+    def ready_count(self):
+        return len(self._ready)
+
+    def busy_physical_cores(self):
+        """Number of physical cores with at least one busy sibling."""
+        return len({l.core for l in self.lcpus if not l.idle})
+
+    def _clock_factor(self):
+        """Turbo-boost speed multiplier based on active core count.
+
+        With few busy cores the chip sustains its turbo clock; fully
+        loaded it drops toward base — the standard Intel behaviour.
+        """
+        if not self.turbo:
+            return 1.0
+        cpu = self.machine.cpu
+        busy = max(1, self.busy_physical_cores())
+        total = max(1, len({l.core for l in self.lcpus}))
+        span = cpu.turbo_clock_ghz - cpu.base_clock_ghz
+        frac = (busy - 1) / max(1, total - 1)
+        clock = cpu.turbo_clock_ghz - span * frac
+        return clock / cpu.base_clock_ghz
+
+    def speed_of(self, lcpu, work_class):
+        """Execution speed (nominal work per wall µs) on ``lcpu`` now."""
+        speed = self._clock_factor()
+        siblings = self._siblings[lcpu.index]
+        busy_siblings = [s for s in siblings if not s.idle]
+        if busy_siblings:
+            pair = smt_pair_throughput(self.machine.cpu, work_class)
+            speed *= pair / (1 + len(busy_siblings))
+        return speed
+
+    # -- dispatch -------------------------------------------------------
+
+    def _pick_idle_lcpu(self, thread=None):
+        """Idle LCPU according to the dispatch policy.
+
+        A thread's previously-used CPU is preferred among equivalent
+        choices (Windows' "ideal processor" heuristic: warm caches),
+        but cache warmth never outranks an idle physical core under
+        the spread policy.
+        """
+        last = getattr(thread, "last_cpu", None)
+        warm = None
+        if last is not None and last < len(self.lcpus):
+            candidate = self.lcpus[last]
+            if candidate.idle:
+                if self.dispatch_policy == "fill" or all(
+                        s.idle for s in self._siblings[candidate.index]):
+                    return candidate
+                warm = candidate
+        fallback = warm
+        for lcpu in self.lcpus:
+            if not lcpu.idle:
+                continue
+            if self.dispatch_policy == "fill":
+                return lcpu
+            if all(s.idle for s in self._siblings[lcpu.index]):
+                return lcpu
+            if fallback is None:
+                fallback = lcpu
+        return fallback
+
+    def _dispatch(self):
+        while self._ready:
+            thread, grant = self._ready[0]
+            lcpu = self._pick_idle_lcpu(thread)
+            if lcpu is None:
+                return
+            self._ready.popleft()
+            lcpu.thread = thread
+            thread.last_cpu = lcpu.index
+            grant.succeed(lcpu)
+
+    def _enqueue(self, thread, grant):
+        """Add to the ready queue honouring thread priority.
+
+        ``Thread.priority`` above NORMAL jumps ahead of every queued
+        normal-priority thread (Windows-style strict priority classes
+        without starvation handling — high-priority work here is tiny:
+        compositors, audio).
+        """
+        if thread.priority > PRIORITY_NORMAL:
+            index = 0
+            for index, (queued, _grant) in enumerate(self._ready):
+                if queued.priority < thread.priority:
+                    self._ready.insert(index, (thread, grant))
+                    return
+            self._ready.append((thread, grant))
+        else:
+            self._ready.append((thread, grant))
+
+    def run_burst(self, thread, amount, work_class):
+        """Generator: run ``amount`` µs of nominal work for ``thread``.
+
+        Delegated to by :meth:`Thread._run`; yields simulation events.
+        Handles enqueueing, dispatch, SMT speed scaling, preemption and
+        trace emission.
+        """
+        env = self.env
+        session = self.session
+        remaining = int(amount)
+        while remaining > 0:
+            thread.state = ThreadState.READY
+            ready_time = env.now
+            grant = env.event()
+            self._enqueue(thread, grant)
+            self._dispatch()
+            try:
+                lcpu = yield grant
+            except Interrupt:
+                # Killed while waiting for a CPU: leave the queue (or
+                # free the CPU that was granted in the same instant).
+                self._ready = deque(
+                    entry for entry in self._ready if entry[1] is not grant)
+                if grant.triggered:
+                    granted = grant.value
+                    granted.thread = None
+                    granted.work_class = None
+                    self._dispatch()
+                raise
+            thread.state = ThreadState.RUNNING
+            lcpu.work_class = work_class
+            speed = self.speed_of(lcpu, work_class)
+            sibling_busy = any(not s.idle for s in self._siblings[lcpu.index])
+            sibling_same_process = any(
+                (not s.idle) and s.thread.process is thread.process
+                for s in self._siblings[lcpu.index])
+            cap = self.quantum if self._ready else RESAMPLE_PERIOD
+            wall = min(max(1, math.ceil(remaining / speed)), cap)
+            switch_in = env.now
+            interrupted = None
+            try:
+                yield env.timeout(wall)
+            except Interrupt as exc:
+                # Killed mid-slice: account for the time actually spent
+                # on the CPU, then unwind.
+                interrupted = exc
+                wall = env.now - switch_in
+            if wall > 0:
+                done = min(remaining, max(1, math.floor(wall * speed)))
+                remaining -= done
+                self.retired_work[thread.process.name] = (
+                    self.retired_work.get(thread.process.name, 0) + done)
+                session.emit_cswitch(
+                    thread.process.name, thread.process.pid, thread.tid,
+                    thread.name, lcpu.index, ready_time, switch_in, env.now)
+                if self.memory_model is not None:
+                    self.memory_model.record_slice(
+                        thread.process.name, work_class, wall,
+                        sibling_busy, sibling_same_process)
+                if self.energy_model is not None:
+                    self.energy_model.record_slice(
+                        thread.process.name, work_class, wall,
+                        self._clock_factor())
+            lcpu.thread = None
+            lcpu.work_class = None
+            self._dispatch()
+            if interrupted is not None:
+                raise interrupted

@@ -1,0 +1,144 @@
+"""Synchronization primitives for simulated threads.
+
+All primitives hand out kernel events; thread bodies block on them via
+``yield ctx.wait(...)``, which parks the thread off-CPU (state
+``BLOCKED``) until the primitive grants it.
+"""
+
+from collections import deque
+
+from repro.sim.resources import Store
+
+
+class Lock:
+    """A FIFO mutual-exclusion lock."""
+
+    def __init__(self, kernel):
+        self.env = kernel.env
+        self._owner = None
+        self._waiters = deque()
+
+    @property
+    def locked(self):
+        return self._owner is not None
+
+    def acquire(self, token=None):
+        """Event firing once the lock is held by ``token``.
+
+        ``token`` is any hashable identity (typically the thread); it
+        must be passed again to :meth:`release`.
+        """
+        token = token if token is not None else object()
+        event = self.env.event()
+        if self._owner is None:
+            self._owner = token
+            event.succeed(token)
+        else:
+            self._waiters.append((token, event))
+        return event
+
+    def release(self, token=None):
+        """Release the lock, passing it to the next waiter if any."""
+        if self._owner is None:
+            raise RuntimeError("release of an unheld lock")
+        if token is not None and self._owner is not token:
+            raise RuntimeError("lock released by a non-owner")
+        if self._waiters:
+            self._owner, event = self._waiters.popleft()
+            event.succeed(self._owner)
+        else:
+            self._owner = None
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup."""
+
+    def __init__(self, kernel, value=0):
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self.env = kernel.env
+        self._value = value
+        self._waiters = deque()
+
+    @property
+    def value(self):
+        return self._value
+
+    def acquire(self):
+        """Event firing when a unit has been taken."""
+        event = self.env.event()
+        if self._value > 0:
+            self._value -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, count=1):
+        """Add ``count`` units, waking waiters in FIFO order."""
+        for _ in range(count):
+            if self._waiters:
+                self._waiters.popleft().succeed()
+            else:
+                self._value += 1
+
+
+class Barrier:
+    """A reusable N-party barrier (generation-based)."""
+
+    def __init__(self, kernel, parties):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.env = kernel.env
+        self.parties = parties
+        self._arrived = 0
+        self._gate = self.env.event()
+
+    def wait(self):
+        """Event firing once ``parties`` threads have arrived."""
+        self._arrived += 1
+        gate = self._gate
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self._gate = self.env.event()
+            gate.succeed()
+        return gate
+
+
+class MessageQueue:
+    """A bounded FIFO channel between threads (IPC substitute)."""
+
+    def __init__(self, kernel, capacity=None):
+        self._store = Store(kernel.env, capacity=capacity)
+
+    def __len__(self):
+        return len(self._store)
+
+    def put(self, item):
+        """Event firing once ``item`` has been enqueued."""
+        return self._store.put(item)
+
+    def get(self):
+        """Event firing with the next item."""
+        return self._store.get()
+
+
+class CountdownLatch:
+    """Fires an event after being counted down ``count`` times."""
+
+    def __init__(self, kernel, count):
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.env = kernel.env
+        self._remaining = count
+        self.done = self.env.event()
+
+    def count_down(self):
+        if self._remaining <= 0:
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.done.succeed()
+
+    def wait(self):
+        return self.done

@@ -1,0 +1,46 @@
+"""Classification of CPU work for the SMT contention model.
+
+The paper's §V-C.2 explains SMT slowdowns via functional-unit
+contention (L1-bound stalls rising 5.3% -> 10.7%) versus the benefit
+of siblings prefetching shared data (LLC misses dropping).  Which
+effect wins depends on the *kind* of work a thread performs, so every
+CPU burst in the simulator carries a :class:`WorkClass`.
+"""
+
+from enum import Enum
+
+
+class WorkClass(str, Enum):
+    """What a CPU burst is bound on.
+
+    * ``FU_BOUND`` — saturates functional units (video encode inner
+      loops, hashing).  SMT siblings contend and combined throughput
+      drops below a lone thread.
+    * ``MEMORY_BOUND`` — stalls on DRAM; SMT hides latency well.
+    * ``BALANCED`` — typical application code; modest SMT gain.
+    * ``UI`` — bursty interactive work; SMT is nearly neutral.
+    """
+
+    FU_BOUND = "fu_bound"
+    MEMORY_BOUND = "memory_bound"
+    BALANCED = "balanced"
+    UI = "ui"
+
+
+#: Fallback combined-sibling throughput if a CpuSpec does not override.
+DEFAULT_SMT_THROUGHPUT = {
+    WorkClass.FU_BOUND: 0.94,
+    WorkClass.MEMORY_BOUND: 1.38,
+    WorkClass.BALANCED: 1.18,
+    WorkClass.UI: 1.05,
+}
+
+
+def smt_pair_throughput(cpu_spec, work_class):
+    """Combined throughput of two siblings on ``cpu_spec`` for a class.
+
+    Returns a multiplier relative to one thread running alone on the
+    physical core; each sibling then proceeds at half the combined rate.
+    """
+    table = cpu_spec.smt_throughput or DEFAULT_SMT_THROUGHPUT
+    return table.get(work_class, DEFAULT_SMT_THROUGHPUT[work_class])

@@ -1,0 +1,49 @@
+"""Text renderers that regenerate the paper's tables and figures."""
+
+from repro.reporting.figures import (
+    fig2_series,
+    fig3_series,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    render_timeseries_figure,
+)
+from repro.reporting.render import (
+    bar,
+    bar_chart,
+    format_table,
+    grouped_bar_chart,
+    heat_cell,
+    heat_row,
+    sparkline,
+)
+from repro.reporting.tables import render_table1, render_table2, render_table3
+
+__all__ = [
+    "bar",
+    "bar_chart",
+    "fig2_series",
+    "fig3_series",
+    "format_table",
+    "grouped_bar_chart",
+    "heat_cell",
+    "heat_row",
+    "render_fig10",
+    "render_fig11",
+    "render_fig12",
+    "render_fig2",
+    "render_fig3",
+    "render_fig4",
+    "render_fig8",
+    "render_fig9",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_timeseries_figure",
+    "sparkline",
+]

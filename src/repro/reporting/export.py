@@ -1,0 +1,65 @@
+"""Machine-readable exports of suite results: CSV and Markdown.
+
+The text renderers in :mod:`repro.reporting.tables` target terminals;
+these exports target spreadsheets and READMEs.
+"""
+
+import csv
+
+from repro.apps import CATEGORIES
+from repro.data import PAPER_TABLE2
+
+
+def suite_to_csv(suite_result, path):
+    """Write one row per application: measured vs paper values."""
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "app", "display_name", "category",
+            "tlp_mean", "tlp_std", "tlp_paper",
+            "gpu_mean", "gpu_std", "gpu_paper",
+            "max_instantaneous", "gpu_capped",
+        ])
+        for category, names in CATEGORIES.items():
+            for name in names:
+                if name not in suite_result.results:
+                    continue
+                result = suite_result.results[name]
+                paper_tlp, paper_gpu = PAPER_TABLE2[name]
+                writer.writerow([
+                    name, result.display_name, category.value,
+                    f"{result.tlp.mean:.3f}", f"{result.tlp.std:.3f}",
+                    paper_tlp,
+                    f"{result.gpu_util.mean:.3f}",
+                    f"{result.gpu_util.std:.3f}", paper_gpu,
+                    result.max_instantaneous, result.gpu_capped,
+                ])
+
+
+def suite_to_markdown(suite_result):
+    """Render the suite as a GitHub-flavoured Markdown table."""
+    lines = [
+        "| Category | Application | TLP | σ | paper | GPU % | σ | paper |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for category, names in CATEGORIES.items():
+        for name in names:
+            if name not in suite_result.results:
+                continue
+            result = suite_result.results[name]
+            paper_tlp, paper_gpu = PAPER_TABLE2[name]
+            gpu_text = f"{result.gpu_util.mean:.1f}"
+            if result.gpu_capped:
+                gpu_text = "\\*" + gpu_text
+            lines.append(
+                f"| {category.value} | {result.display_name} "
+                f"| {result.tlp.mean:.1f} | {result.tlp.std:.2f} "
+                f"| {paper_tlp} | {gpu_text} "
+                f"| {result.gpu_util.std:.2f} | {paper_gpu} |")
+    averages = suite_result.category_averages()
+    lines.append("")
+    lines.append("| Category | avg TLP | avg GPU % |")
+    lines.append("|---|---|---|")
+    for category, (tlp, gpu) in averages.items():
+        lines.append(f"| {category.value} | {tlp:.2f} | {gpu:.2f} |")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Renderers for the paper's figures (2-13) as text charts.
+
+Each ``render_figN`` takes measured data (plus the historical datasets
+where the figure compares against prior work) and returns a printable
+string; the underlying series stay available to benches for asserting
+the qualitative shape.
+"""
+
+from repro.data import FIG2_LINEAGES, FIG3_LINEAGES, historical_gpu, historical_tlp
+from repro.reporting.render import bar_chart, format_table, grouped_bar_chart, sparkline
+
+
+def fig2_series(measured_tlp):
+    """Fig. 2 data: ``[(category, [(label, year, tlp), ...]), ...]``.
+
+    ``measured_tlp`` maps 2018 registry keys to measured TLP values.
+    """
+    series = []
+    for category, entries in FIG2_LINEAGES:
+        points = []
+        for label, year, source in entries:
+            if year == 2018:
+                value = measured_tlp[source]
+            else:
+                value = historical_tlp(source, year)
+            points.append((label, year, value))
+        series.append((category, points))
+    return series
+
+
+def render_fig2(measured_tlp):
+    """Fig. 2: TLP for 2000 vs 2010 vs 2018."""
+    groups = [
+        (category, [(f"{label} [{year}]", value)
+                    for label, year, value in points])
+        for category, points in fig2_series(measured_tlp)
+    ]
+    return ("Fig. 2: TLP of desktop applications, 2000/2010/2018\n"
+            + grouped_bar_chart(groups, value_format="{:5.1f}"))
+
+
+def fig3_series(measured_gpu):
+    """Fig. 3 data, same shape as :func:`fig2_series` (GPU util %)."""
+    series = []
+    for category, entries in FIG3_LINEAGES:
+        points = []
+        for label, year, source in entries:
+            if year == 2018:
+                value = measured_gpu[source]
+            else:
+                value = historical_gpu(source)
+            points.append((label, year, value))
+        series.append((category, points))
+    return series
+
+
+def render_fig3(measured_gpu):
+    """Fig. 3: GPU utilization for 2010 vs 2018."""
+    groups = [
+        (category, [(f"{label} [{year}]", value)
+                    for label, year, value in points])
+        for category, points in fig3_series(measured_gpu)
+    ]
+    return ("Fig. 3: GPU utilization of desktop applications, 2010/2018\n"
+            + grouped_bar_chart(groups, value_format="{:6.1f}"))
+
+
+def render_fig4(scaling, ideal=(4, 8, 12)):
+    """Fig. 4: TLP vs logical cores for the category leaders.
+
+    ``scaling`` is ``{app_label: {count: tlp}}``.
+    """
+    counts = sorted(ideal)
+    headers = ("Application",) + tuple(f"{c} LCPUs" for c in counts)
+    rows = [("Ideal",) + tuple(f"{c:5.1f}" for c in counts)]
+    for label in scaling:
+        rows.append((label,) + tuple(
+            f"{scaling[label][c]:5.2f}" for c in counts))
+    return format_table(headers, rows,
+                        title="Fig. 4: impact of core scaling on TLP "
+                              "(SMT enabled)")
+
+
+def render_timeseries_figure(title, series_by_config):
+    """Figs. 5-7 & 13: labelled sparkline time series."""
+    lines = [title]
+    for label, series in series_by_config.items():
+        lines.append(f"  {label}")
+        lines.append(f"    max={series.maximum():6.2f} "
+                     f"mean={series.mean():6.2f}")
+        lines.append("    " + sparkline(series.values))
+    return "\n".join(lines)
+
+
+def render_fig8(grid, physical_cores=(2, 4, 6)):
+    """Fig. 8: transcode rate + GPU util vs cores, SMT, GPU.
+
+    ``grid`` maps ``(app, gpu_name, smt, cores)`` to
+    ``(rate_fps, gpu_util)``.
+    """
+    headers = ("Series",) + tuple(f"{c} cores" for c in physical_cores)
+    rate_rows, util_rows = [], []
+    seen = sorted({key[:3] for key in grid})
+    for app, gpu_name, smt in seen:
+        label = f"{app}-{gpu_name}{'-SMT' if smt else ''}"
+        rates, utils = [], []
+        for cores in physical_cores:
+            rate, util = grid[(app, gpu_name, smt, cores)]
+            rates.append(f"{rate:5.1f}")
+            utils.append(f"{util:5.1f}")
+        rate_rows.append((label,) + tuple(rates))
+        util_rows.append((label,) + tuple(utils))
+    return "\n\n".join([
+        format_table(headers, rate_rows,
+                     title="Fig. 8a: transcode rate (FPS)"),
+        format_table(headers, util_rows,
+                     title="Fig. 8b: GPU utilization (%)"),
+    ])
+
+
+def render_fig9(results):
+    """Fig. 9: Premiere Pro CUDA vs non-CUDA on both GPUs.
+
+    ``results`` maps ``(gpu_name, cuda)`` to ``(gpu_util, tlp)``.
+    """
+    rows = [
+        (gpu_name, "CUDA" if cuda else "non-CUDA",
+         f"{util:6.2f}", f"{tlp:5.2f}")
+        for (gpu_name, cuda), (util, tlp) in sorted(results.items())
+    ]
+    return format_table(("GPU", "Export mode", "GPU util %", "TLP"), rows,
+                        title="Fig. 9: Premiere Pro export, CUDA vs "
+                              "non-CUDA")
+
+
+def render_fig10(results):
+    """Fig. 10: GPU utilization, GTX 680 vs GTX 1080 Ti.
+
+    ``results`` maps app label to ``{gpu_name: util}``.
+    """
+    lines = ["Fig. 10: GPU utilization on GTX 680 vs GTX 1080 Ti"]
+    for label, utils in results.items():
+        items = [(gpu, value) for gpu, value in utils.items()]
+        lines.append(f"[{label}]")
+        lines.append(bar_chart(items, value_format="{:6.1f}"))
+    return "\n".join(lines)
+
+
+def render_fig11(results):
+    """Fig. 11: browser TLP and GPU utilization across the 4 tests.
+
+    ``results`` maps ``(browser, test)`` to ``(tlp, gpu_util)``.
+    """
+    tests = sorted({test for _b, test in results})
+    browsers = sorted({browser for browser, _t in results})
+    headers = ("Browser",) + tuple(tests)
+    tlp_rows = [(b,) + tuple(f"{results[(b, t)][0]:5.2f}" for t in tests)
+                for b in browsers]
+    gpu_rows = [(b,) + tuple(f"{results[(b, t)][1]:5.2f}" for t in tests)
+                for b in browsers]
+    return "\n\n".join([
+        format_table(headers, tlp_rows, title="Fig. 11a: browsing TLP"),
+        format_table(headers, gpu_rows,
+                     title="Fig. 11b: browsing GPU utilization (%)"),
+    ])
+
+
+def render_fig12(results):
+    """Fig. 12: VR TLP + GPU utilization across headsets.
+
+    ``results`` maps ``(game, headset)`` to ``(tlp, gpu_util)``.
+    """
+    headsets = sorted({headset for _g, headset in results})
+    games = sorted({game for game, _h in results})
+    headers = ("Game",) + tuple(headsets)
+    tlp_rows = [(g,) + tuple(f"{results[(g, h)][0]:5.2f}" for h in headsets)
+                for g in games]
+    gpu_rows = [(g,) + tuple(f"{results[(g, h)][1]:5.1f}" for h in headsets)
+                for g in games]
+    return "\n\n".join([
+        format_table(headers, tlp_rows, title="Fig. 12a: VR gaming TLP"),
+        format_table(headers, gpu_rows,
+                     title="Fig. 12b: VR gaming GPU utilization (%)"),
+    ])

@@ -1,0 +1,77 @@
+"""Low-level text rendering helpers: tables, bars, heat maps."""
+
+#: Shade ramp used for the Table II execution-time heat map.
+_SHADES = " ░▒▓█"
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned text table."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            columns[index].append(str(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def heat_cell(fraction):
+    """One heat-map character for a time fraction in [0, 1]."""
+    fraction = min(1.0, max(0.0, fraction))
+    index = min(len(_SHADES) - 1, int(fraction * (len(_SHADES) - 1) + 0.9999)
+                if fraction > 0 else 0)
+    return _SHADES[index]
+
+
+def heat_row(fractions):
+    """The c0..c12 execution-time heat map strip of a Table II row."""
+    return "".join(heat_cell(f) for f in fractions)
+
+
+def bar(value, scale=1.0, width=40, fill="#"):
+    """A horizontal ASCII bar for bar-chart figures."""
+    length = int(round(min(value * scale, width)))
+    return fill * max(0, length)
+
+
+def bar_chart(items, max_width=40, value_format="{:6.1f}"):
+    """Render ``(label, value)`` pairs as a horizontal bar chart."""
+    if not items:
+        return "(no data)"
+    peak = max(value for _label, value in items) or 1.0
+    label_width = max(len(label) for label, _value in items)
+    scale = max_width / peak
+    lines = []
+    for label, value in items:
+        lines.append(f"{label.ljust(label_width)} "
+                     f"{value_format.format(value)} |{bar(value, scale)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups, max_width=40, value_format="{:6.1f}"):
+    """Render ``(group, [(label, value), ...])`` groups."""
+    blocks = []
+    for group, items in groups:
+        blocks.append(f"[{group}]")
+        blocks.append(bar_chart(items, max_width=max_width,
+                                value_format=value_format))
+    return "\n".join(blocks)
+
+
+def sparkline(values, height_levels=" .:-=+*#%@"):
+    """A one-line sparkline for time series (Figs. 5-7, 13)."""
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    steps = len(height_levels) - 1
+    return "".join(
+        height_levels[min(steps, int(round(v / peak * steps)))]
+        for v in values)

@@ -1,0 +1,94 @@
+"""Renderers for the paper's tables (I, II, III)."""
+
+from repro.apps import CATEGORIES, REGISTRY
+from repro.data import PAPER_CATEGORY_AVERAGES, PAPER_TABLE2, PAPER_TABLE3
+from repro.reporting.render import format_table, heat_row
+
+
+def render_table1(machine):
+    """Table I: specification of the benchmarking system."""
+    rows = [
+        ("CPU", f"{machine.cpu.name}, {machine.cpu.base_clock_ghz:.2f}-"
+                f"{machine.cpu.turbo_clock_ghz:.2f} GHz, "
+                f"{machine.cpu.physical_cores} cores / "
+                f"{machine.cpu.logical_cpus} threads"),
+        ("Graphics", f"{machine.gpu.name}, {machine.gpu.clock_mhz} MHz, "
+                     f"{machine.gpu.cuda_cores} CUDA cores"),
+        ("RAM", f"{machine.ram_gb} GB"),
+        ("OS", machine.os_name),
+    ]
+    return format_table(("Component", "Specification"), rows,
+                        title="Table I: benchmarking system")
+
+
+def render_table2(suite_result):
+    """Table II: heat map + TLP + GPU utilization for the whole suite."""
+    headers = ("Category", "Application", "c0..c12", "TLP", "σ",
+               "paper", "GPU%", "σ", "paper")
+    rows = []
+    for category, names in CATEGORIES.items():
+        for name in names:
+            if name not in suite_result.results:
+                continue
+            result = suite_result.results[name]
+            paper_tlp, paper_gpu = PAPER_TABLE2[name]
+            gpu_text = f"{result.gpu_util.mean:6.1f}"
+            if result.gpu_capped:
+                gpu_text = "*" + gpu_text.strip()
+            rows.append((
+                category.value,
+                result.display_name,
+                heat_row(result.fractions),
+                f"{result.tlp.mean:5.1f}",
+                f"{result.tlp.std:4.2f}",
+                f"{paper_tlp:5.1f}",
+                gpu_text,
+                f"{result.gpu_util.std:4.2f}",
+                f"{paper_gpu:6.1f}",
+            ))
+    lines = [format_table(headers, rows,
+                          title="Table II: application TLP and GPU "
+                                "utilization (measured vs paper)")]
+    lines.append("")
+    lines.append("Per-category averages (measured vs paper):")
+    for category, (tlp, gpu) in suite_result.category_averages().items():
+        paper_tlp, paper_gpu = PAPER_CATEGORY_AVERAGES[category.value]
+        lines.append(f"  {category.value:24s} TLP {tlp:5.2f} "
+                     f"(paper {paper_tlp:4.1f})   GPU {gpu:6.2f}% "
+                     f"(paper {paper_gpu:5.1f}%)")
+    lines.append("")
+    lines.append(f"Overall average TLP: "
+                 f"{suite_result.overall_average_tlp():.2f} (paper 3.1)")
+    above = suite_result.apps_with_tlp_above(4.0)
+    lines.append(f"Applications with TLP > 4: {len(above)} of "
+                 f"{len(suite_result.results)} (paper: 6 of 30): "
+                 f"{', '.join(sorted(above))}")
+    return "\n".join(lines)
+
+
+def render_table3(rows):
+    """Table III: WinX with and without CUDA/NVENC.
+
+    ``rows`` is ``{logical_cores: {metric: value}}`` with metrics
+    ``rate_cpu/rate_gpu/tlp_cpu/tlp_gpu/util_cpu/util_gpu``.
+    """
+    headers = ("Logical cores",
+               "Rate noGPU (paper)", "Rate GPU (paper)",
+               "TLP noGPU (paper)", "TLP GPU (paper)",
+               "Util noGPU (paper)", "Util GPU (paper)")
+    body = []
+    for cores in sorted(rows):
+        measured = rows[cores]
+        paper = PAPER_TABLE3[cores]
+        body.append((
+            cores,
+            f"{measured['rate_cpu']:5.1f} ({paper['rate_cpu']})",
+            f"{measured['rate_gpu']:5.1f} ({paper['rate_gpu']})",
+            f"{measured['tlp_cpu']:5.2f} ({paper['tlp_cpu']})",
+            f"{measured['tlp_gpu']:5.2f} ({paper['tlp_gpu']})",
+            f"{measured['util_cpu']:5.2f} ({paper['util_cpu']})",
+            f"{measured['util_gpu']:5.2f} ({paper['util_gpu']})",
+        ))
+    return format_table(headers, body,
+                        title="Table III: WinX transcode rate / TLP / GPU "
+                              "utilization with and without CUDA/NVENC")

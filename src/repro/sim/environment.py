@@ -1,0 +1,112 @@
+"""The simulation environment: clock, event queue and run loop.
+
+Simulation time is an integer number of **microseconds**.  Using
+integers keeps event ordering exact and runs deterministic — two runs
+with the same seed produce bit-identical traces.
+"""
+
+from heapq import heappop, heappush
+
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.sim.exceptions import SimulationError, StopSimulation
+
+#: Default event priority.  Lower numbers fire first at equal times.
+NORMAL = 1
+#: Priority used for urgent deliveries such as interrupts.
+URGENT = 0
+
+
+class Environment:
+    """Owns the simulation clock and executes events in time order."""
+
+    def __init__(self, initial_time=0):
+        self._now = int(initial_time)
+        self._queue = []
+        self._eid = 0
+        #: The process currently being resumed (None between steps).
+        self.active_process = None
+
+    @property
+    def now(self):
+        """Current simulation time in microseconds."""
+        return self._now
+
+    def schedule(self, event, priority=NORMAL, delay=0):
+        """Queue ``event`` to fire ``delay`` microseconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heappush(self._queue, (self._now + int(delay), priority, self._eid, event))
+
+    def timeout(self, delay, value=None):
+        """Return an event firing after ``delay`` microseconds."""
+        return Timeout(self, delay, value)
+
+    def event(self):
+        """Return a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def process(self, generator, name=None):
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events):
+        """Event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events):
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def stop(self, value=None):
+        """Halt the run loop immediately (usable from inside a process)."""
+        raise StopSimulation(value)
+
+    def peek(self):
+        """Time of the next scheduled event, or ``None`` if queue empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self):
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        self._now, _, _, event = heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "defused", False):
+            raise event._value
+
+    def run(self, until=None):
+        """Run until the queue drains, ``until`` µs, or an event fires.
+
+        ``until`` may be an integer time, an :class:`Event` (run until
+        it fires, returning its value), or ``None`` (run to exhaustion).
+        """
+        stop_event = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            until = int(until)
+            if until < self._now:
+                raise ValueError(
+                    f"until ({until}) must not be before current time ({self._now})")
+        try:
+            while self._queue:
+                if stop_event is not None and stop_event.processed:
+                    break
+                if until is not None and not isinstance(until, Event):
+                    if self._queue[0][0] > until:
+                        self._now = until
+                        break
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError("run(until=event) exhausted the queue "
+                                      "before the event fired")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        return None

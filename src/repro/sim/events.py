@@ -1,0 +1,245 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic coroutine style popularized by SimPy:
+simulation *processes* are Python generators that ``yield`` events; the
+:class:`~repro.sim.environment.Environment` resumes a process when the
+event it is waiting on fires.
+
+Only the features needed by the reproduction are implemented — this is
+a deliberately small, fully-deterministic kernel, not a general-purpose
+framework.
+"""
+
+from repro.sim.exceptions import Interrupt, SimulationError
+
+#: Sentinel for "event has not fired yet".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: *pending* (just created),
+    *triggered* (scheduled to fire, value decided) and *processed*
+    (callbacks have run).  Waiting processes register callbacks; when
+    the event is processed each callback receives the event.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+
+    @property
+    def triggered(self):
+        """True once the event has a value and is scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self):
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self):
+        """True if the event fired successfully (not failed)."""
+        if not self.triggered:
+            raise SimulationError("value of untriggered event is undecided")
+        return self._ok
+
+    @property
+    def value(self):
+        """The value the event fired with (or the exception on failure)."""
+        if self._value is PENDING:
+            raise SimulationError("value of untriggered event is undecided")
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception.
+
+        Waiting processes will have the exception thrown into them.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def __repr__(self):
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` time units."""
+
+    def __init__(self, env, delay, value=None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class AnyOf(Event):
+    """Fires as soon as *any* of ``events`` fires.
+
+    The value is a dict mapping each already-fired event to its value.
+    """
+
+    def __init__(self, env, events):
+        super().__init__(env)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._collect(event)
+                break
+            event.callbacks.append(self._collect)
+
+    def _collect(self, _event):
+        if self.triggered:
+            return
+        done = {e: e.value for e in self.events if e.processed and e.ok}
+        failed = [e for e in self.events if e.processed and not e.ok]
+        if failed:
+            self.fail(failed[0].value)
+        else:
+            self.succeed(done)
+
+
+class AllOf(Event):
+    """Fires once *all* of ``events`` have fired.
+
+    The value is a dict mapping every event to its value.
+    """
+
+    def __init__(self, env, events):
+        super().__init__(env)
+        self.events = list(events)
+        self._remaining = 0
+        for event in self.events:
+            if event.processed:
+                continue
+            self._remaining += 1
+            event.callbacks.append(self._collect)
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self.events})
+
+    def _collect(self, event):
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self.events})
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process itself is an event that fires (with the generator's
+    return value) when the generator finishes, so processes can wait
+    for each other simply by yielding the :class:`Process` object.
+    """
+
+    def __init__(self, env, generator, name=None):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if just
+        #: started or already finished).
+        self.target = None
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        env.schedule(init)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self):
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process.
+
+        The interrupt is delivered immediately (at the current
+        simulation time) regardless of what the process is waiting on.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        self.env.schedule(event, priority=0)
+        event.callbacks.append(self._resume)
+
+    def _resume(self, event):
+        if self.triggered:
+            return
+        self.env.active_process = self
+        try:
+            if event._ok:
+                next_target = self.generator.send(event._value)
+            else:
+                event.defused = True
+                next_target = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.env.active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as error:
+            self.env.active_process = None
+            self._fail_with(error)
+            return
+        self.env.active_process = None
+        if not isinstance(next_target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_target!r}")
+            self.generator.throw(error)
+            return
+        self.target = next_target
+        if next_target.processed:
+            # Already-processed events resume the process on the next
+            # scheduling step to preserve FIFO ordering.
+            relay = Event(self.env)
+            relay._ok = next_target._ok
+            relay._value = next_target._value
+            relay.defused = True
+            self.env.schedule(relay)
+            relay.callbacks.append(self._resume)
+        else:
+            next_target.callbacks.append(self._resume)
+
+    def _fail_with(self, error):
+        self._ok = False
+        self._value = error
+        self.env.schedule(self)
+
+    def __repr__(self):
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,104 @@
+"""Shared-resource primitives built on the event kernel.
+
+These are used by higher layers: :class:`Resource` models exclusive
+devices (a GPU engine executing one packet at a time), :class:`Store`
+models bounded producer/consumer queues (video pipelines, browser IPC).
+"""
+
+from collections import deque
+
+from repro.sim.events import Event
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting.
+
+    Usage from a process::
+
+        request = resource.request()
+        yield request
+        ...use the resource...
+        resource.release(request)
+    """
+
+    def __init__(self, env, capacity=1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users = set()
+        self.queue = deque()
+
+    @property
+    def count(self):
+        """Number of requests currently holding the resource."""
+        return len(self.users)
+
+    def request(self):
+        """Return an event that fires when the resource is granted."""
+        event = Event(self.env)
+        if len(self.users) < self.capacity:
+            self.users.add(event)
+            event.succeed()
+        else:
+            self.queue.append(event)
+        return event
+
+    def release(self, request):
+        """Release a previously granted ``request``."""
+        if request not in self.users:
+            raise ValueError("releasing a request that does not hold the resource")
+        self.users.discard(request)
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """A bounded FIFO buffer of items with blocking put/get.
+
+    ``capacity=None`` means unbounded.
+    """
+
+    def __init__(self, env, capacity=None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items = deque()
+        self._getters = deque()
+        self._putters = deque()
+
+    def __len__(self):
+        return len(self.items)
+
+    def put(self, item):
+        """Return an event that fires once ``item`` is stored."""
+        event = Event(self.env)
+        event.item = item
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self):
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self):
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and (
+                    self.capacity is None or len(self.items) < self.capacity):
+                putter = self._putters.popleft()
+                self.items.append(putter.item)
+                putter.succeed()
+                progressed = True
+            while self._getters and self.items:
+                getter = self._getters.popleft()
+                getter.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,107 @@
+"""The Event Trace Log container (our ``.etl`` file substitute).
+
+A finished trace holds every record emitted between ``start_time`` and
+``stop_time`` and can be saved to / loaded from a JSON-lines file, the
+role the binary ``.etl`` files play in the paper's workflow.
+"""
+
+import json
+from dataclasses import asdict
+
+from repro.trace.records import (
+    ContextSwitchRecord,
+    FramePresentRecord,
+    GpuPacketRecord,
+    MarkRecord,
+)
+
+_RECORD_TYPES = {
+    "cswitch": ContextSwitchRecord,
+    "gpu_packet": GpuPacketRecord,
+    "frame": FramePresentRecord,
+    "mark": MarkRecord,
+}
+_KIND_BY_TYPE = {cls: kind for kind, cls in _RECORD_TYPES.items()}
+
+
+class EtlTrace:
+    """An immutable-by-convention bundle of trace records."""
+
+    def __init__(self, start_time, stop_time, cswitches=(), gpu_packets=(),
+                 frames=(), marks=(), machine_name=""):
+        if stop_time < start_time:
+            raise ValueError("stop_time before start_time")
+        self.start_time = start_time
+        self.stop_time = stop_time
+        self.cswitches = list(cswitches)
+        self.gpu_packets = list(gpu_packets)
+        self.frames = list(frames)
+        self.marks = list(marks)
+        self.machine_name = machine_name
+
+    @property
+    def duration(self):
+        """Trace length in microseconds."""
+        return self.stop_time - self.start_time
+
+    @property
+    def processes(self):
+        """Sorted names of every process appearing in the trace."""
+        names = {r.process for r in self.cswitches}
+        names.update(r.process for r in self.gpu_packets)
+        return sorted(names)
+
+    def filter_processes(self, predicate):
+        """A new trace keeping only records whose process satisfies
+        ``predicate`` — this is the paper's application-level filtering
+        (application TLP, as opposed to Blake et al.'s system TLP)."""
+        return EtlTrace(
+            self.start_time,
+            self.stop_time,
+            [r for r in self.cswitches if predicate(r.process)],
+            [r for r in self.gpu_packets if predicate(r.process)],
+            [r for r in self.frames if predicate(r.process)],
+            [r for r in self.marks if predicate(r.process)],
+            machine_name=self.machine_name,
+        )
+
+    def save(self, path):
+        """Write the trace as JSON lines (header line + one per record)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            header = {
+                "kind": "header",
+                "start_time": self.start_time,
+                "stop_time": self.stop_time,
+                "machine_name": self.machine_name,
+            }
+            fh.write(json.dumps(header) + "\n")
+            for group in (self.cswitches, self.gpu_packets, self.frames, self.marks):
+                for record in group:
+                    row = {"kind": _KIND_BY_TYPE[type(record)]}
+                    row.update(asdict(record))
+                    fh.write(json.dumps(row) + "\n")
+
+    @classmethod
+    def load(cls, path):
+        """Read a trace previously written by :meth:`save`."""
+        groups = {kind: [] for kind in _RECORD_TYPES}
+        header = None
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                row = json.loads(line)
+                kind = row.pop("kind")
+                if kind == "header":
+                    header = row
+                else:
+                    groups[kind].append(_RECORD_TYPES[kind](**row))
+        if header is None:
+            raise ValueError(f"{path} has no trace header line")
+        return cls(
+            header["start_time"],
+            header["stop_time"],
+            cswitches=groups["cswitch"],
+            gpu_packets=groups["gpu_packet"],
+            frames=groups["frame"],
+            marks=groups["mark"],
+            machine_name=header.get("machine_name", ""),
+        )

@@ -1,0 +1,98 @@
+"""Trace record types — the ETL substitute's event schema.
+
+The fields mirror the WPA columns the paper extracts (Fig. 1):
+
+* CPU Usage (Precise): ``Process``, ``CPU``, ``Ready Time``,
+  ``Switch-In Time`` (we add the switch-out time so busy intervals can
+  be reconstructed without pairing separate raw events).
+* GPU Utilization (FM): ``Process``, ``Start Execution``, ``Finished``.
+
+All times are integer microseconds on the simulation clock.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ContextSwitchRecord:
+    """One scheduling interval of a thread on a logical CPU."""
+
+    process: str
+    pid: int
+    tid: int
+    thread_name: str
+    cpu: int
+    ready_time: int
+    switch_in_time: int
+    switch_out_time: int
+
+    def __post_init__(self):
+        if not self.ready_time <= self.switch_in_time <= self.switch_out_time:
+            raise ValueError(
+                f"inconsistent switch record times: ready={self.ready_time} "
+                f"in={self.switch_in_time} out={self.switch_out_time}")
+
+    @property
+    def duration(self):
+        """Microseconds the thread spent running in this interval."""
+        return self.switch_out_time - self.switch_in_time
+
+    @property
+    def wait_time(self):
+        """Microseconds spent ready-but-not-running (scheduler latency)."""
+        return self.switch_in_time - self.ready_time
+
+
+@dataclass(frozen=True)
+class GpuPacketRecord:
+    """One GPU work packet executed on an engine.
+
+    A *packet* is what WPA's GPU Utilization (FM) analysis shows: a
+    batch of API calls packaged into a command stream and executed as
+    a unit on one GPU engine.
+    """
+
+    process: str
+    pid: int
+    engine: str
+    packet_type: str
+    submit_time: int
+    start_execution: int
+    finished: int
+
+    def __post_init__(self):
+        if not self.submit_time <= self.start_execution <= self.finished:
+            raise ValueError(
+                f"inconsistent packet times: submit={self.submit_time} "
+                f"start={self.start_execution} finish={self.finished}")
+
+    @property
+    def running_time(self):
+        """Microseconds the packet spent executing on the engine."""
+        return self.finished - self.start_execution
+
+    @property
+    def queue_time(self):
+        """Microseconds the packet waited in the engine queue."""
+        return self.start_execution - self.submit_time
+
+
+@dataclass(frozen=True)
+class FramePresentRecord:
+    """A frame presented to the display / VR compositor."""
+
+    process: str
+    pid: int
+    present_time: int
+    target_fps: int
+    reprojected: bool = False
+
+
+@dataclass(frozen=True)
+class MarkRecord:
+    """An application-defined annotation (phase begin/end, input event)."""
+
+    process: str
+    pid: int
+    time: int
+    label: str

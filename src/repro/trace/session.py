@@ -1,0 +1,111 @@
+"""Kernel-level trace sessions — the ETW / UIforETW substitute.
+
+The simulated OS kernel and GPU call the ``emit_*`` hooks; records are
+only retained while the session is recording, exactly like starting and
+stopping a UIforETW capture around a testbench run (paper Fig. 1).
+"""
+
+from repro.trace.etl import EtlTrace
+from repro.trace.records import (
+    ContextSwitchRecord,
+    FramePresentRecord,
+    GpuPacketRecord,
+    MarkRecord,
+)
+
+#: Provider flags, mirroring the WPA analyses the paper extracts.
+CPU_USAGE_PRECISE = "cpu-usage-precise"
+GPU_UTILIZATION_FM = "gpu-utilization-fm"
+FRAME_PRESENTS = "frame-presents"
+MARKS = "marks"
+
+ALL_PROVIDERS = frozenset(
+    {CPU_USAGE_PRECISE, GPU_UTILIZATION_FM, FRAME_PRESENTS, MARKS})
+
+
+class TraceSession:
+    """Collects records between :meth:`start` and :meth:`stop`."""
+
+    def __init__(self, env, providers=ALL_PROVIDERS, machine_name=""):
+        unknown = set(providers) - ALL_PROVIDERS
+        if unknown:
+            raise ValueError(f"unknown trace providers: {sorted(unknown)}")
+        self.env = env
+        self.providers = frozenset(providers)
+        self.machine_name = machine_name
+        self.recording = False
+        self._start_time = None
+        self._cswitches = []
+        self._gpu_packets = []
+        self._frames = []
+        self._marks = []
+
+    def start(self):
+        """Begin recording (idempotent error: cannot start twice)."""
+        if self.recording:
+            raise RuntimeError("trace session already recording")
+        self.recording = True
+        self._start_time = self.env.now
+        self._cswitches.clear()
+        self._gpu_packets.clear()
+        self._frames.clear()
+        self._marks.clear()
+
+    def stop(self):
+        """Stop recording and return the captured :class:`EtlTrace`."""
+        if not self.recording:
+            raise RuntimeError("trace session is not recording")
+        self.recording = False
+        return EtlTrace(
+            self._start_time,
+            self.env.now,
+            cswitches=self._cswitches,
+            gpu_packets=self._gpu_packets,
+            frames=self._frames,
+            marks=self._marks,
+            machine_name=self.machine_name,
+        )
+
+    # -- emit hooks called by the simulated kernel / GPU ---------------
+
+    def emit_cswitch(self, process, pid, tid, thread_name, cpu,
+                     ready_time, switch_in_time, switch_out_time):
+        if self.recording and CPU_USAGE_PRECISE in self.providers:
+            self._cswitches.append(ContextSwitchRecord(
+                process, pid, tid, thread_name, cpu,
+                ready_time, switch_in_time, switch_out_time))
+
+    def emit_gpu_packet(self, process, pid, engine, packet_type,
+                        submit_time, start_execution, finished):
+        if self.recording and GPU_UTILIZATION_FM in self.providers:
+            self._gpu_packets.append(GpuPacketRecord(
+                process, pid, engine, packet_type,
+                submit_time, start_execution, finished))
+
+    def emit_frame(self, process, pid, present_time, target_fps,
+                   reprojected=False):
+        if self.recording and FRAME_PRESENTS in self.providers:
+            self._frames.append(FramePresentRecord(
+                process, pid, present_time, target_fps, reprojected))
+
+    def emit_mark(self, process, pid, label):
+        if self.recording and MARKS in self.providers:
+            self._marks.append(MarkRecord(process, pid, self.env.now, label))
+
+
+class NullSession:
+    """A do-nothing session for runs that do not need tracing."""
+
+    recording = False
+
+    def emit_cswitch(self, *args, **kwargs):
+        pass
+
+    def emit_gpu_packet(self, *args, **kwargs):
+        pass
+
+    def emit_frame(self, *args, **kwargs):
+        pass
+
+    def emit_mark(self, *args, **kwargs):
+        pass

@@ -1,0 +1,122 @@
+"""WPA-substitute table extraction and the ``wpaexporter`` CSV step.
+
+The paper's workflow (Fig. 1) opens the ``.etl`` trace in Windows
+Performance Analyzer, extracts two tables and exports them to CSV:
+
+* **CPU Usage (Precise), Timeline by CPU** — columns Process, CPU,
+  Ready Time, Switch-In Time (we carry Switch-Out Time as well).
+* **GPU Utilization (FM)** — columns Process, Start Execution,
+  Finished.
+
+Custom scripts then post-process the CSVs into TLP and GPU-utilization
+numbers.  This module is that entire middle of the pipeline.
+"""
+
+import csv
+
+
+class CpuUsagePreciseTable:
+    """Rows of the CPU Usage (Precise) analysis."""
+
+    COLUMNS = ("process", "pid", "tid", "thread_name", "cpu",
+               "ready_time", "switch_in_time", "switch_out_time")
+
+    def __init__(self, rows, trace_start, trace_stop):
+        self.rows = list(rows)
+        self.trace_start = trace_start
+        self.trace_stop = trace_stop
+
+    @classmethod
+    def from_trace(cls, trace):
+        """Extract the table from an :class:`~repro.trace.etl.EtlTrace`."""
+        rows = sorted(
+            ((r.process, r.pid, r.tid, r.thread_name, r.cpu,
+              r.ready_time, r.switch_in_time, r.switch_out_time)
+             for r in trace.cswitches),
+            key=lambda row: (row[6], row[4]))
+        return cls(rows, trace.start_time, trace.stop_time)
+
+    def busy_intervals(self, processes=None):
+        """Yield ``(cpu, start, stop)`` run intervals, optionally
+        restricted to a set of process names."""
+        for row in self.rows:
+            if processes is None or row[0] in processes:
+                yield row[4], row[6], row[7]
+
+    def process_names(self):
+        """Sorted distinct process names in the table."""
+        return sorted({row[0] for row in self.rows})
+
+
+class GpuUtilizationTable:
+    """Rows of the GPU Utilization (FM) analysis."""
+
+    COLUMNS = ("process", "pid", "engine", "packet_type",
+               "submit_time", "start_execution", "finished")
+
+    def __init__(self, rows, trace_start, trace_stop):
+        self.rows = list(rows)
+        self.trace_start = trace_start
+        self.trace_stop = trace_stop
+
+    @classmethod
+    def from_trace(cls, trace):
+        rows = sorted(
+            ((r.process, r.pid, r.engine, r.packet_type,
+              r.submit_time, r.start_execution, r.finished)
+             for r in trace.gpu_packets),
+            key=lambda row: (row[5], row[2]))
+        return cls(rows, trace.start_time, trace.stop_time)
+
+    def packet_intervals(self, processes=None):
+        """Yield ``(engine, start_execution, finished)`` per packet."""
+        for row in self.rows:
+            if processes is None or row[0] in processes:
+                yield row[2], row[5], row[6]
+
+    def process_names(self):
+        return sorted({row[0] for row in self.rows})
+
+
+def export_csv(table, path):
+    """``wpaexporter`` substitute: write a WPA table to CSV.
+
+    The first line holds trace metadata so the CSV round-trips without
+    the original trace file.
+    """
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["#trace", table.trace_start, table.trace_stop])
+        writer.writerow(table.COLUMNS)
+        writer.writerows(table.rows)
+
+
+def _load_rows(path, expected_columns):
+    with open(path, "r", newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        meta = next(reader)
+        if meta[0] != "#trace":
+            raise ValueError(f"{path} is not a wpaexporter CSV")
+        trace_start, trace_stop = int(meta[1]), int(meta[2])
+        header = tuple(next(reader))
+        if header != expected_columns:
+            raise ValueError(
+                f"unexpected columns in {path}: {header} != {expected_columns}")
+        rows = [tuple(row) for row in reader]
+    return rows, trace_start, trace_stop
+
+
+def load_cpu_csv(path):
+    """Load a CSV written from a :class:`CpuUsagePreciseTable`."""
+    raw, start, stop = _load_rows(path, CpuUsagePreciseTable.COLUMNS)
+    rows = [(p, int(pid), int(tid), tname, int(cpu), int(rt), int(si), int(so))
+            for p, pid, tid, tname, cpu, rt, si, so in raw]
+    return CpuUsagePreciseTable(rows, start, stop)
+
+
+def load_gpu_csv(path):
+    """Load a CSV written from a :class:`GpuUtilizationTable`."""
+    raw, start, stop = _load_rows(path, GpuUtilizationTable.COLUMNS)
+    rows = [(p, int(pid), engine, ptype, int(sub), int(se), int(fin))
+            for p, pid, engine, ptype, sub, se, fin in raw]
+    return GpuUtilizationTable(rows, start, stop)

@@ -1,0 +1,23 @@
+"""VR runtime substrate: headsets and the compositor."""
+
+from repro.vr.compositor import Compositor
+from repro.vr.headsets import (
+    ASW,
+    HEADSETS,
+    REPROJECTION,
+    RIFT,
+    VIVE,
+    VIVE_PRO,
+    HeadsetSpec,
+)
+
+__all__ = [
+    "ASW",
+    "Compositor",
+    "HEADSETS",
+    "HeadsetSpec",
+    "REPROJECTION",
+    "RIFT",
+    "VIVE",
+    "VIVE_PRO",
+]

@@ -1,0 +1,59 @@
+"""VR headset specifications.
+
+The paper tests Oculus Rift, HTC Vive and HTC Vive Pro (§V-F).  The
+relevant behavioural differences:
+
+* **Frame-miss policy** — Rift uses Asynchronous SpaceWarp (ASW):
+  when the system cannot sustain 90 FPS the render rate is *clamped*
+  to 45 and synthesized frames fill the gaps, giving the stable frame
+  rates of Fig. 13.  Vive and Vive Pro use asynchronous reprojection:
+  the GPU keeps chasing 90 FPS and an adjusted frame is inserted
+  whenever a render misses vsync, so the real frame rate oscillates
+  between 90 and 45.
+* **Resolution** — Vive Pro renders ~1.78x the pixels of Rift/Vive;
+  with the adaptive-quality scaling VR titles apply, the effective GPU
+  load factor is lower than raw pixel count, but still the highest of
+  the three (highest GPU utilization in Fig. 12b).
+* **Runtime** — the Oculus runtime runs more client-side work than
+  SteamVR, which the paper sees as Rift's consistently higher TLP.
+"""
+
+from dataclasses import dataclass
+
+ASW = "asw"
+REPROJECTION = "reprojection"
+
+
+@dataclass(frozen=True)
+class HeadsetSpec:
+    key: str
+    name: str
+    target_fps: int
+    #: Effective GPU load multiplier vs. the Rift/Vive baseline.
+    gpu_load_factor: float
+    #: Frame-miss policy: ASW (Rift) or asynchronous reprojection.
+    policy: str
+    #: Duty cycle of the vendor runtime's client-side threads.
+    runtime_threads: int
+    runtime_duty: float
+    #: CPU-side cost multiplier from resolution (draw-call submission
+    #: grows with render resolution; hurts CPU-bound titles).
+    cpu_load_factor: float = 1.0
+
+
+RIFT = HeadsetSpec(
+    key="rift", name="Oculus Rift", target_fps=90,
+    gpu_load_factor=1.0, policy=ASW,
+    runtime_threads=2, runtime_duty=0.10, cpu_load_factor=1.0)
+
+VIVE = HeadsetSpec(
+    key="vive", name="HTC Vive", target_fps=90,
+    gpu_load_factor=1.0, policy=REPROJECTION,
+    runtime_threads=1, runtime_duty=0.06, cpu_load_factor=1.0)
+
+VIVE_PRO = HeadsetSpec(
+    key="vive-pro", name="HTC Vive Pro", target_fps=90,
+    gpu_load_factor=1.17, policy=REPROJECTION,
+    runtime_threads=1, runtime_duty=0.06, cpu_load_factor=1.25)
+
+HEADSETS = {h.key: h for h in (RIFT, VIVE, VIVE_PRO)}

@@ -1,0 +1,171 @@
+"""Unit tests for the reusable application behaviour blocks."""
+
+import pytest
+
+from repro.apps.base import AppRuntime
+from repro.apps.blocks import (
+    compute,
+    duty_cycle_thread,
+    fan_out,
+    gpu_stream_thread,
+    housekeeping_thread,
+    ui_pump,
+)
+from repro.automation import InputDriver, InputScript
+from repro.gpu import GpuDevice
+from repro.hardware import paper_machine
+from repro.os import Kernel, WorkClass
+from repro.sim import MS, SECOND, Environment
+from repro.trace import TraceSession
+
+
+@pytest.fixture
+def runtime():
+    env = Environment()
+    machine = paper_machine()
+    session = TraceSession(env)
+    kernel = Kernel(env, machine, session=session, turbo=False)
+    gpu = GpuDevice(env, machine.gpu, session)
+    driver = InputDriver(kernel, seed=1)
+    session.start()
+    rt = AppRuntime(kernel, gpu, driver, 5 * SECOND, seed=1)
+    rt.session = session
+    return rt
+
+
+def finish(rt):
+    rt.env.run(until=rt.end_time)
+    return rt.session.stop()
+
+
+class TestFanOut:
+    def test_splits_work_across_workers(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        done = fan_out(runtime, process, 600 * MS, 6, WorkClass.BALANCED)
+        trace = finish(runtime)
+        assert done.triggered
+        names = {r.thread_name for r in trace.cswitches
+                 if r.process == "app.exe"}
+        assert len([n for n in names if n.startswith("worker")]) == 6
+
+    def test_total_work_preserved(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        fan_out(runtime, process, 600 * MS, 6, WorkClass.BALANCED,
+                imbalance=0.0)
+        finish(runtime)
+        retired = runtime.kernel.scheduler.retired_work["app.exe"]
+        assert retired == pytest.approx(600 * MS, rel=0.02)
+
+    def test_worker_validation(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        with pytest.raises(ValueError):
+            fan_out(runtime, process, MS, 0)
+
+    def test_imbalance_spreads_finish_times(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        fan_out(runtime, process, 1_200 * MS, 4, WorkClass.BALANCED,
+                imbalance=0.3)
+        trace = finish(runtime)
+        last_by_thread = {}
+        for record in trace.cswitches:
+            if record.thread_name.startswith("worker"):
+                last_by_thread[record.thread_name] = record.switch_out_time
+        finishes = sorted(last_by_thread.values())
+        assert finishes[-1] - finishes[0] > 10 * MS
+
+
+class TestDutyCycle:
+    def test_duty_approximates_requested_share(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        duty_cycle_thread(runtime, process, 0.25, jitter=0.0)
+        finish(runtime)
+        retired = runtime.kernel.scheduler.retired_work["app.exe"]
+        assert retired / runtime.duration_us == pytest.approx(0.25, abs=0.04)
+
+    def test_duty_validation(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        with pytest.raises(ValueError):
+            duty_cycle_thread(runtime, process, 0.0)
+        with pytest.raises(ValueError):
+            duty_cycle_thread(runtime, process, 1.5)
+
+
+class TestGpuStream:
+    def test_utilization_approximates_target(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        gpu_stream_thread(runtime, process, 0.2, packet_ref_us=4 * MS)
+        finish(runtime)
+        measured = runtime.gpu.utilization_pct(runtime.duration_us)
+        assert measured == pytest.approx(20.0, abs=4.0)
+
+    def test_validation(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        with pytest.raises(ValueError):
+            gpu_stream_thread(runtime, process, 0.0)
+
+
+class TestHousekeeping:
+    def test_bursts_reach_machine_width(self, runtime):
+        from repro.metrics import measure_tlp
+        from repro.trace import CpuUsagePreciseTable
+
+        process = runtime.spawn_process("app.exe")
+        housekeeping_thread(runtime, process, period_us=1 * SECOND,
+                            burst_us=8 * MS)
+        trace = finish(runtime)
+        table = CpuUsagePreciseTable.from_trace(trace)
+        result = measure_tlp(table, 12, processes={"app.exe"})
+        assert result.max_instantaneous >= 11
+
+    def test_total_cost_is_tiny(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        housekeeping_thread(runtime, process, period_us=1 * SECOND,
+                            burst_us=8 * MS)
+        finish(runtime)
+        retired = runtime.kernel.scheduler.retired_work.get("app.exe", 0)
+        assert retired < 0.15 * runtime.duration_us
+
+
+class TestUiPump:
+    def test_handler_called_per_action_with_marks(self, runtime):
+        process = runtime.spawn_process("app.exe")
+        handled = []
+
+        def handler(ctx, action):
+            handled.append(action.label)
+            yield ctx.cpu(5 * MS, WorkClass.UI)
+
+        script = (InputScript().wait(100 * MS).click("a")
+                  .wait(100 * MS).click("b"))
+        ui_pump(runtime, process, script, handler)
+        trace = finish(runtime)
+        assert handled == ["a", "b"]
+        labels = [m.label for m in trace.marks]
+        assert "input:a" in labels and "response:b" in labels
+
+    def test_idle_ticks_after_script_ends(self, runtime):
+        process = runtime.spawn_process("app.exe")
+
+        def handler(ctx, action):
+            yield ctx.cpu(MS, WorkClass.UI)
+
+        ui_pump(runtime, process, InputScript().click("only"), handler)
+        trace = finish(runtime)
+        ui_records = [r for r in trace.cswitches
+                      if r.thread_name == "ui-main"]
+        # Repaint ticks continue across the window.
+        assert max(r.switch_out_time for r in ui_records) > 4 * SECOND
+
+
+class TestCompute:
+    def test_compute_chunks_work(self, runtime):
+        process = runtime.spawn_process("app.exe")
+
+        def body(ctx):
+            yield from compute(ctx, 100 * MS, WorkClass.UI, chunk_us=10 * MS)
+
+        process.spawn_thread(body)
+        trace = finish(runtime)
+        busy = sum(r.duration for r in trace.cswitches
+                   if r.process == "app.exe")
+        assert busy == pytest.approx(100 * MS, rel=0.02)

@@ -1,0 +1,165 @@
+"""Behavioural validation of every application model against Table II.
+
+Each model is simulated once (40 simulated seconds, fixed seed) and
+its TLP / GPU utilization are checked against the paper's reported
+values within tolerance bands.  Structural properties the paper calls
+out (Excel's burst to 12, PhoenixMiner's saturated dual queues,
+EasyMiner's thread-per-core, browser process counts...) are asserted
+directly.
+"""
+
+import pytest
+
+from repro.apps import REGISTRY, create_app
+from repro.harness import run_app_once
+from repro.sim import SECOND
+
+DURATION = 40 * SECOND
+
+#: Absolute tolerance floors; relative tolerance on top.
+TLP_ABS, TLP_REL = 0.45, 0.18
+GPU_ABS, GPU_REL = 1.8, 0.25
+
+_cache = {}
+
+
+def run_cached(name, **config):
+    key = (name, tuple(sorted(config.items())))
+    if key not in _cache:
+        _cache[key] = run_app_once(create_app(name, **config),
+                                   duration_us=DURATION, seed=5)
+    return _cache[key]
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_tlp_matches_paper(name):
+    cls = REGISTRY[name]
+    result = run_cached(name)
+    tolerance = max(TLP_ABS, cls.paper_tlp * TLP_REL)
+    assert result.tlp.tlp == pytest.approx(cls.paper_tlp, abs=tolerance), (
+        f"{name}: measured TLP {result.tlp.tlp:.2f}, "
+        f"paper {cls.paper_tlp}")
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_gpu_utilization_matches_paper(name):
+    cls = REGISTRY[name]
+    result = run_cached(name)
+    tolerance = max(GPU_ABS, cls.paper_gpu_util * GPU_REL)
+    assert result.gpu_util.utilization_pct == pytest.approx(
+        cls.paper_gpu_util, abs=tolerance), (
+        f"{name}: measured GPU {result.gpu_util.utilization_pct:.2f}%, "
+        f"paper {cls.paper_gpu_util}%")
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_tlp_is_physical(name):
+    result = run_cached(name)
+    assert 0.0 < result.tlp.tlp <= 12.0
+    assert 0 <= result.gpu_util.utilization_pct <= 100.0
+    assert sum(result.tlp.fractions) == pytest.approx(1.0)
+
+
+class TestHeadlineStructure:
+    """Structural observations the paper highlights per application."""
+
+    def test_excel_touches_maximum_instantaneous_tlp(self):
+        # "its instantaneous TLP reaches the maximum of 12" with
+        # roughly 3.7% of busy time at the maximum.
+        result = run_cached("excel")
+        assert result.tlp.max_instantaneous == 12
+        busy = 1.0 - result.tlp.fractions[0]
+        c12_of_busy = result.tlp.fractions[12] / busy
+        assert 0.015 < c12_of_busy < 0.08
+
+    def test_handbrake_mostly_at_maximum_with_dips(self):
+        result = run_cached("handbrake")
+        fractions = result.tlp.fractions
+        busy = 1.0 - fractions[0]
+        assert fractions[12] / busy > 0.5        # mostly at max
+        assert sum(fractions[1:6]) / busy > 0.03  # serialization dips
+
+    def test_photoshop_reaches_max_during_filter_render(self):
+        result = run_cached("photoshop")
+        assert result.tlp.max_instantaneous == 12
+
+    def test_phoenixminer_two_simultaneous_packets(self):
+        result = run_cached("phoenixminer")
+        assert result.gpu_util.capped          # the "*100.0" footnote
+        assert result.gpu_util.max_concurrent_packets >= 2
+
+    def test_wineth_single_stream_not_capped(self):
+        result = run_cached("wineth")
+        assert not result.gpu_util.capped
+        assert result.gpu_util.utilization_pct > 97.0
+
+    def test_easyminer_one_thread_per_logical_core(self):
+        result = run_cached("easyminer")
+        assert result.tlp.max_instantaneous == 12
+        assert result.tlp.tlp > 11.0
+
+    def test_acrobat_and_braina_use_no_gpu(self):
+        for name in ("acrobat", "braina"):
+            assert run_cached(name).gpu_util.utilization_pct == 0.0
+
+    def test_handbrake_gpu_stays_below_one_percent(self):
+        assert run_cached("handbrake").gpu_util.utilization_pct < 1.0
+
+    def test_winx_gpu_toggle_changes_behaviour(self):
+        gpu_on = run_cached("winx")
+        gpu_off = run_cached("winx", use_gpu=False)
+        assert gpu_on.outputs["gpu_path"] is True
+        assert gpu_off.outputs["gpu_path"] is False
+        # Offload: higher rate, lower TLP, GPU becomes busy (Table III).
+        assert gpu_on.outputs["frames"] > gpu_off.outputs["frames"] * 1.2
+        assert gpu_on.tlp.tlp < gpu_off.tlp.tlp
+        assert gpu_off.gpu_util.utilization_pct == 0.0
+
+    def test_chrome_spawns_many_renderer_processes(self):
+        chrome = run_cached("chrome")
+        firefox = run_cached("firefox")
+        assert chrome.outputs["renderer_processes"] > \
+            2 * firefox.outputs["renderer_processes"]
+
+    def test_vr_games_hold_90_fps_on_full_machine(self):
+        result = run_cached("arizona-sunshine")
+        fps = result.outputs["real_frames"] / (DURATION / SECOND)
+        assert fps == pytest.approx(90, abs=3)
+
+    def test_media_player_plays_at_30_fps(self):
+        result = run_cached("vlc")
+        fps = result.outputs["frames_played"] / (DURATION / SECOND)
+        assert fps == pytest.approx(30, abs=1)
+
+    def test_assistant_answers_all_queries(self):
+        result = run_cached("cortana")
+        assert result.outputs["queries_answered"] == 7
+
+    def test_mining_hash_rates_are_plausible(self):
+        # GTX 1080 Ti ethash is ~32 MH/s in the real world.
+        wineth = run_cached("wineth")
+        assert 25e6 < wineth.outputs["hash_rate"] < 40e6
+
+    def test_most_apps_touch_maximum_instantaneous_tlp(self):
+        # Abstract: "most applications attaining the maximum
+        # instantaneous TLP of 12 during execution".
+        reaching = sum(1 for name in REGISTRY
+                       if run_cached(name).tlp.max_instantaneous >= 12)
+        assert reaching >= 24
+
+    def test_results_are_deterministic(self):
+        first = run_app_once(create_app("excel"), duration_us=DURATION,
+                             seed=5)
+        again = run_app_once(create_app("excel"), duration_us=DURATION,
+                             seed=5)
+        assert first.tlp.tlp == again.tlp.tlp
+        assert first.gpu_util.utilization_pct == \
+            again.gpu_util.utilization_pct
+
+    def test_different_seeds_vary_slightly(self):
+        a = run_app_once(create_app("powerdirector"),
+                         duration_us=DURATION, seed=5)
+        b = run_app_once(create_app("powerdirector"),
+                         duration_us=DURATION, seed=6)
+        assert a.tlp.tlp != b.tlp.tlp
+        assert abs(a.tlp.tlp - b.tlp.tlp) < 0.8

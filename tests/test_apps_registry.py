@@ -1,0 +1,62 @@
+"""Tests for the application registry and model metadata."""
+
+import pytest
+
+from repro.apps import CATEGORIES, REGISTRY, SUITE, Category, create_app
+from repro.data import PAPER_TABLE2
+
+
+class TestRegistry:
+    def test_thirty_applications(self):
+        assert len(REGISTRY) == 30
+        assert len(SUITE) == 30
+
+    def test_suite_order_matches_registry(self):
+        assert set(SUITE) == set(REGISTRY)
+
+    def test_nine_categories(self):
+        assert len(CATEGORIES) == 9
+        assert set(CATEGORIES) == set(Category)
+
+    def test_category_sizes_match_table2(self):
+        sizes = {category.value: len(names)
+                 for category, names in CATEGORIES.items()}
+        assert sizes == {
+            "Image Authoring": 3,
+            "Office": 5,
+            "Multimedia Playback": 3,
+            "Video Authoring": 2,
+            "Video Transcoding": 2,
+            "Web Browsing": 3,
+            "VR Gaming": 6,
+            "Cryptocurrency Mining": 4,
+            "Personal Assistant": 2,
+        }
+
+    def test_every_app_has_paper_reference_values(self):
+        for name, cls in REGISTRY.items():
+            assert name in PAPER_TABLE2
+            assert cls.paper_tlp == PAPER_TABLE2[name][0]
+            assert cls.paper_gpu_util == PAPER_TABLE2[name][1]
+
+    def test_create_app_returns_fresh_instances(self):
+        first = create_app("handbrake")
+        second = create_app("handbrake")
+        assert first is not second
+
+    def test_create_app_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            create_app("solitaire")
+
+    def test_create_app_forwards_config(self):
+        app = create_app("winx", use_gpu=False)
+        assert app.use_gpu is False
+
+    def test_display_names_are_unique(self):
+        names = [cls.display_name for cls in REGISTRY.values()]
+        assert len(names) == len(set(names))
+
+    def test_every_model_documents_itself(self):
+        for cls in REGISTRY.values():
+            assert cls.__doc__, f"{cls.__name__} lacks a docstring"
+            assert cls.version, f"{cls.__name__} lacks a version"

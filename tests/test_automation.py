@@ -1,0 +1,116 @@
+"""Unit tests for input scripts and drivers (AutoIt substitute)."""
+
+import pytest
+
+from repro.automation import AUTOIT, MANUAL, InputDriver, InputScript
+from repro.hardware import paper_machine
+from repro.os import Kernel
+from repro.sim import MS, SECOND, Environment
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(Environment(), paper_machine(), turbo=False)
+
+
+class TestInputScript:
+    def test_actions_are_time_stamped_at_cursor(self):
+        script = InputScript().wait(100).click("a").wait(50).key("b")
+        assert script.actions[0].at_us == 100
+        # click advances cursor by its own duration (80 ms).
+        assert script.actions[1].at_us == 100 + 80 * MS + 50
+
+    def test_length_tracks_cursor(self):
+        script = InputScript().wait(1000)
+        assert script.length_us == 1000
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            InputScript().wait(-1)
+
+    def test_speak_carries_duration(self):
+        script = InputScript().speak("query", 2 * SECOND)
+        assert script.actions[0].duration_us == 2 * SECOND
+
+    def test_stretched_to_scales_times(self):
+        script = InputScript().wait(1000).click("a").wait(1000)
+        stretched = script.stretched_to(script.length_us * 2)
+        assert stretched.actions[0].at_us == 2000
+        assert stretched.length_us == script.length_us * 2
+
+    def test_stretch_of_empty_script_is_noop(self):
+        script = InputScript()
+        assert script.stretched_to(500) is script
+
+    def test_repeated_appends_with_gap(self):
+        script = InputScript().click("a")
+        tripled = script.repeated(3, gap_us=100)
+        assert len(tripled) == 3
+        step = script.length_us + 100
+        assert tripled.actions[1].at_us == script.actions[0].at_us + step
+
+    def test_repeated_validation(self):
+        with pytest.raises(ValueError):
+            InputScript().repeated(0)
+
+    def test_iteration_and_len(self):
+        script = InputScript().click("a").key("b")
+        assert len(script) == 2
+        assert [a.kind for a in script] == ["click", "key"]
+
+
+class TestInputDriver:
+    def _collect(self, kernel, mode, seed=3):
+        script = (InputScript().wait(100 * MS).click("one")
+                  .wait(200 * MS).click("two"))
+        driver = InputDriver(kernel, mode=mode, seed=seed)
+        queue = driver.play(script)
+        arrivals = []
+
+        def consumer():
+            while True:
+                event = queue.get()
+                action = yield event
+                if action is None:
+                    return
+                arrivals.append((kernel.env.now, action.label))
+
+        kernel.env.process(consumer())
+        kernel.env.run()
+        return arrivals, driver
+
+    def test_unknown_mode_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            InputDriver(kernel, mode="telepathy")
+
+    def test_autoit_replays_all_actions_in_order(self, kernel):
+        arrivals, driver = self._collect(kernel, AUTOIT)
+        assert [label for _t, label in arrivals] == ["one", "two"]
+        assert driver.delivered == 2
+
+    def test_autoit_timing_is_tight(self, kernel):
+        arrivals, _ = self._collect(kernel, AUTOIT)
+        first_time, _ = arrivals[0]
+        # nominal: 100ms wait + 80ms click duration (+ <=4ms jitter)
+        assert 180 * MS <= first_time <= 190 * MS
+
+    def test_manual_mode_adds_human_jitter(self, kernel):
+        arrivals, _ = self._collect(kernel, MANUAL)
+        first_time, _ = arrivals[0]
+        assert first_time >= 180 * MS  # jitter only delays
+
+    def test_manual_jitter_varies_with_seed(self):
+        times = set()
+        for seed in range(6):
+            kernel = Kernel(Environment(), paper_machine(), turbo=False)
+            arrivals, _ = self._collect(kernel, MANUAL, seed=seed)
+            times.add(arrivals[0][0])
+        assert len(times) > 3
+
+    def test_autoit_is_deterministic_per_seed(self):
+        def run(seed):
+            kernel = Kernel(Environment(), paper_machine(), turbo=False)
+            arrivals, _ = self._collect(kernel, AUTOIT, seed=seed)
+            return arrivals
+
+        assert run(5) == run(5)

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(str(line) for line in lines)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_machine_flags(self):
+        args = build_parser().parse_args(
+            ["run", "excel", "--cores", "4", "--no-smt",
+             "--gpu", "gtx-680", "--duration", "10", "--iterations", "1"])
+        assert args.app == "excel"
+        assert args.cores == 4
+        assert args.no_smt is True
+        assert args.gpu == "gtx-680"
+
+    def test_bad_gpu_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "excel", "--gpu", "voodoo2"])
+
+
+class TestCommands:
+    def test_list_shows_all_thirty(self):
+        code, text = run_cli(["list"])
+        assert code == 0
+        assert text.count("\n") >= 30
+        assert "handbrake" in text and "phoenixminer" in text
+
+    def test_system_prints_table1(self):
+        code, text = run_cli(["system"])
+        assert code == 0
+        assert "i7-8700K" in text
+
+    def test_run_single_app(self):
+        code, text = run_cli(["run", "excel", "--duration", "10",
+                              "--iterations", "1"])
+        assert code == 0
+        assert "TLP" in text
+        assert "Microsoft Excel" in text
+
+    def test_run_unknown_app_fails_cleanly(self):
+        code, text = run_cli(["run", "minesweeper", "--duration", "5",
+                              "--iterations", "1"])
+        assert code == 2
+        assert "unknown application" in text
+
+    def test_run_with_machine_config(self):
+        code, text = run_cli(["run", "vlc", "--duration", "10",
+                              "--iterations", "1", "--cores", "4",
+                              "--gpu", "gtx-680"])
+        assert code == 0
+        assert "4 LCPUs" in text
+        assert "GTX 680" in text
+
+    def test_suite_subset(self):
+        code, text = run_cli(["suite", "--apps", "excel,vlc",
+                              "--duration", "10", "--iterations", "1"])
+        assert code == 0
+        assert "Microsoft Excel" in text
+        assert "VLC Media Player" in text
+        assert "Overall average TLP" in text
+
+    def test_suite_unknown_app(self):
+        code, text = run_cli(["suite", "--apps", "excel,doom",
+                              "--duration", "5", "--iterations", "1"])
+        assert code == 2
+        assert "doom" in text
+
+    def test_manual_driver_flag(self):
+        code, text = run_cli(["run", "word", "--duration", "10",
+                              "--iterations", "1", "--manual"])
+        assert code == 0
+
+
+    def test_suite_exports(self, tmp_path):
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        code, text = run_cli(["suite", "--apps", "excel",
+                              "--duration", "8", "--iterations", "1",
+                              "--json", str(json_path),
+                              "--csv", str(csv_path)])
+        assert code == 0
+        assert json_path.exists() and csv_path.exists()
+        from repro.harness.persistence import load_suite
+
+        loaded = load_suite(json_path)
+        assert "excel" in loaded.results
+
+
+    def test_compare_command(self, tmp_path):
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        run_cli(["suite", "--apps", "excel", "--duration", "8",
+                 "--iterations", "1", "--cores", "4",
+                 "--json", str(before)])
+        run_cli(["suite", "--apps", "excel", "--duration", "8",
+                 "--iterations", "1", "--json", str(after)])
+        code, text = run_cli(["compare", str(before), str(after)])
+        assert code == 0
+        assert "excel" in text
+        assert "ΔTLP" in text
+
+
+    def test_era_2010_run(self):
+        code, text = run_cli(["run", "handbrake-09", "--era", "2010",
+                              "--duration", "10", "--iterations", "1"])
+        assert code == 0
+        assert "HandBrake 0.9" in text
+
+    def test_era_2010_unknown_app(self):
+        code, text = run_cli(["run", "handbrake", "--era", "2010",
+                              "--duration", "5", "--iterations", "1"])
+        assert code == 2

@@ -1,0 +1,115 @@
+"""Tests for co-located execution and the co-scheduling analysis."""
+
+import pytest
+
+from repro.analysis import complementarity, coscheduling_gain, trough_headroom
+from repro.apps import create_app
+from repro.harness import run_app_once, run_colocated
+from repro.metrics.timeseries import TimeSeries
+from repro.sim import SECOND
+
+SHORT = 15 * SECOND
+
+
+class TestRunColocated:
+    def test_two_apps_share_one_machine(self):
+        run = run_colocated([create_app("excel"), create_app("vlc")],
+                            duration_us=SHORT, seed=1)
+        assert set(run.per_app_tlp) == {"excel", "vlc"}
+        assert run.combined_tlp.tlp >= max(
+            r.tlp for r in run.per_app_tlp.values()) - 0.5
+
+    def test_empty_app_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_colocated([], duration_us=SHORT)
+
+    def test_duplicate_apps_rejected(self):
+        with pytest.raises(ValueError):
+            run_colocated([create_app("excel"), create_app("excel")],
+                          duration_us=SHORT)
+
+    def test_outputs_collected_per_app(self):
+        run = run_colocated([create_app("handbrake"), create_app("excel")],
+                            duration_us=SHORT, seed=1)
+        assert run.outputs["handbrake"]["frames"] > 0
+
+    def test_system_tlp_covers_everything(self):
+        run = run_colocated([create_app("excel")], duration_us=SHORT, seed=1)
+        assert run.system_tlp.idle_fraction <= \
+            run.combined_tlp.idle_fraction
+
+    def test_sharing_slows_heavy_apps_down(self):
+        solo = run_app_once(create_app("handbrake"), duration_us=SHORT,
+                            seed=1)
+        shared = run_colocated([create_app("handbrake"),
+                                create_app("winx")],
+                               duration_us=SHORT, seed=1)
+        assert (shared.outputs["handbrake"]["frames"]
+                < solo.outputs["frames"])
+
+
+class TestComplementarity:
+    def _series(self, values):
+        return TimeSeries(0, 1_000_000, values)
+
+    def test_idle_partner_fits_fully(self):
+        a = self._series([12.0, 12.0])
+        b = self._series([0.0, 0.0])
+        assert complementarity(a, b, 12) == 1.0
+
+    def test_saturated_partner_fits_nothing(self):
+        a = self._series([12.0, 12.0])
+        b = self._series([4.0, 4.0])
+        assert complementarity(a, b, 12) == 0.0
+
+    def test_partial_fit(self):
+        a = self._series([10.0, 6.0])
+        b = self._series([4.0, 4.0])
+        # Headroom 2 then 6 -> fits 2 + 4 of demand 8.
+        assert complementarity(a, b, 12) == pytest.approx(0.75)
+
+    def test_step_mismatch_rejected(self):
+        a = TimeSeries(0, 1_000_000, [1.0])
+        b = TimeSeries(0, 500_000, [1.0])
+        with pytest.raises(ValueError):
+            complementarity(a, b, 12)
+
+    def test_empty_series_rejected(self):
+        empty = self._series([])
+        with pytest.raises(ValueError):
+            complementarity(empty, empty, 12)
+
+
+class TestCoschedulingGain:
+    @pytest.fixture(scope="class")
+    def reportobj(self):
+        return coscheduling_gain(lambda: create_app("handbrake"),
+                                 lambda: create_app("excel"),
+                                 duration_us=SHORT, seed=1)
+
+    def test_combined_busy_exceeds_best_solo(self, reportobj):
+        assert reportobj.together_busy > max(reportobj.solo_busy_a,
+                                             reportobj.solo_busy_b)
+
+    def test_gain_above_one(self, reportobj):
+        assert reportobj.utilization_gain > 1.0
+
+    def test_slowdowns_in_unit_range(self, reportobj):
+        assert 0.0 < reportobj.slowdown_a <= 1.05
+        assert 0.0 < reportobj.slowdown_b <= 1.2
+
+
+class TestTroughHeadroom:
+    def test_requires_trace(self):
+        run = run_app_once(create_app("handbrake"), duration_us=SHORT,
+                           seed=1, keep_trace=True)
+        share = trough_headroom(run.cpu_table, 12,
+                                processes=run.process_names)
+        assert 0.0 <= share <= 1.0
+
+    def test_idle_app_is_all_trough(self):
+        run = run_app_once(create_app("word"), duration_us=SHORT,
+                           seed=1, keep_trace=True)
+        share = trough_headroom(run.cpu_table, 12,
+                                processes=run.process_names)
+        assert share > 0.9

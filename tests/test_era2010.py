@@ -1,0 +1,78 @@
+"""Tests for the era-2010 application models (Blake et al. testbed)."""
+
+import pytest
+
+from repro.apps.era2010 import ERA2010_REFERENCE, ERA2010_REGISTRY, Firefox35
+from repro.harness import run_app_once
+from repro.hardware import machine_2010
+from repro.sim import SECOND
+
+DURATION = 30 * SECOND
+
+_cache = {}
+
+
+def run_2010(name, **config):
+    key = (name, tuple(sorted(config.items())))
+    if key not in _cache:
+        _cache[key] = run_app_once(ERA2010_REGISTRY[name](**config),
+                                   machine=machine_2010(),
+                                   duration_us=DURATION, seed=3)
+    return _cache[key]
+
+
+class TestRegistry:
+    def test_fifteen_era_models(self):
+        assert len(ERA2010_REGISTRY) == 15
+        assert set(ERA2010_REGISTRY) == set(ERA2010_REFERENCE)
+
+    def test_era_marker(self):
+        assert all(cls.era == 2010 for cls in ERA2010_REGISTRY.values())
+
+    def test_no_overlap_with_2018_registry(self):
+        from repro.apps import REGISTRY
+
+        assert not set(ERA2010_REGISTRY) & set(REGISTRY)
+
+
+@pytest.mark.parametrize("name", sorted(ERA2010_REGISTRY))
+def test_matches_blake_measurements(name):
+    ref_tlp, ref_gpu = ERA2010_REFERENCE[name]
+    run = run_2010(name)
+    assert run.tlp.tlp == pytest.approx(ref_tlp,
+                                        abs=max(0.4, ref_tlp * 0.2)), name
+    assert run.gpu_util.utilization_pct == pytest.approx(
+        ref_gpu, abs=max(2.0, ref_gpu * 0.3)), name
+
+
+class TestEraCharacteristics:
+    def test_3d_games_stay_under_tlp_2_and_change_gpu_hard(self):
+        for game in ("crysis", "cod4", "bioshock"):
+            run = run_2010(game)
+            assert run.tlp.tlp < 2.3
+            assert run.gpu_util.utilization_pct > 60
+
+    def test_handbrake09_uses_at_most_8_wide(self):
+        run = run_2010("handbrake-09")
+        # 16 logical CPUs available, but the era's x264 caps out.
+        assert run.tlp.max_instantaneous <= 10
+
+    def test_single_tab_browsing_beats_multi_tab_in_2010(self):
+        multi = run_2010("firefox-35")
+        single = run_app_once(Firefox35(test="single-tab"),
+                              machine=machine_2010(),
+                              duration_us=DURATION, seed=3)
+        assert single.tlp.tlp > multi.tlp.tlp
+
+    def test_firefox35_is_single_process(self):
+        run = run_2010("firefox-35")
+        assert run.process_names == {"firefox.exe"}
+
+    def test_invalid_browser_test_rejected(self):
+        with pytest.raises(ValueError):
+            Firefox35(test="espn")
+
+    def test_era_average_near_two(self):
+        values = [run_2010(name).tlp.tlp for name in ERA2010_REGISTRY]
+        average = sum(values) / len(values)
+        assert 1.4 < average < 2.6  # "2-3 cores were still sufficient"

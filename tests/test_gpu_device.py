@@ -1,0 +1,188 @@
+"""Unit tests for the GPU device model."""
+
+import pytest
+
+from repro.gpu import (
+    ENGINE_3D,
+    ENGINE_COMPUTE,
+    ENGINE_VIDEO_ENCODE,
+    GpuDevice,
+    HASHES_PER_BATCH,
+    MiningStats,
+)
+from repro.hardware import GTX_1080_TI, GTX_285, GTX_680
+from repro.sim import MS, SECOND, Environment
+from repro.trace import GpuUtilizationTable, TraceSession
+
+
+class FakeProcess:
+    name = "app.exe"
+    pid = 8
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_device(env, spec=GTX_1080_TI):
+    session = TraceSession(env)
+    session.start()
+    return GpuDevice(env, spec, session), session
+
+
+class TestPacketExecution:
+    def test_packet_runs_for_nominal_time_on_reference(self, env):
+        device, session = make_device(env)
+        done = device.submit(FakeProcess(), ENGINE_3D, "frame", 10 * MS)
+        env.run()
+        trace = session.stop()
+        assert done.triggered
+        assert len(trace.gpu_packets) == 1
+        assert trace.gpu_packets[0].running_time == 10 * MS
+
+    def test_packets_on_one_engine_serialize(self, env):
+        device, session = make_device(env)
+        process = FakeProcess()
+        device.submit(process, ENGINE_3D, "frame", 10 * MS)
+        device.submit(process, ENGINE_3D, "frame", 10 * MS)
+        env.run()
+        trace = session.stop()
+        first, second = sorted(trace.gpu_packets,
+                               key=lambda p: p.start_execution)
+        assert second.start_execution >= first.finished
+        assert second.queue_time >= 10 * MS
+
+    def test_packets_on_different_engines_overlap(self, env):
+        device, session = make_device(env)
+        process = FakeProcess()
+        device.submit(process, ENGINE_3D, "frame", 10 * MS)
+        device.submit(process, ENGINE_COMPUTE, "kernel", 10 * MS)
+        env.run()
+        trace = session.stop()
+        a, b = trace.gpu_packets
+        assert a.start_execution == b.start_execution
+
+    def test_unknown_engine_rejected(self, env):
+        device, _ = make_device(env)
+        with pytest.raises(ValueError):
+            device.submit(FakeProcess(), "tensor", "x", MS)
+
+    def test_nonpositive_work_rejected(self, env):
+        device, _ = make_device(env)
+        with pytest.raises(ValueError):
+            device.submit(FakeProcess(), ENGINE_3D, "frame", 0)
+
+    def test_completion_event_carries_payload(self, env):
+        device, _ = make_device(env)
+        done = device.submit(FakeProcess(), ENGINE_3D, "frame", MS,
+                             payload="frame-7")
+        env.run()
+        assert done.value == "frame-7"
+
+
+class TestDeviceScaling:
+    def test_weaker_gpu_takes_proportionally_longer(self, env):
+        device, session = make_device(env, GTX_680)
+        device.submit(FakeProcess(), ENGINE_3D, "frame", 10 * MS)
+        env.run()
+        trace = session.stop()
+        expected = 10 * MS * GTX_1080_TI.throughput_relative_to(GTX_680)
+        assert trace.gpu_packets[0].running_time == pytest.approx(
+            expected, rel=0.01)
+
+    def test_fixed_function_nvenc_scales_by_video_generation(self, env):
+        # NVENC/NVDEC speed follows the video-engine generation, not
+        # the CUDA-core count: the Kepler 680 is ~2.2x slower than
+        # Pascal, far less than its ~3.4x compute gap.
+        results = {}
+        for spec in (GTX_1080_TI, GTX_680):
+            local_env = Environment()
+            device, session = make_device(local_env, spec)
+            device.submit(FakeProcess(), ENGINE_VIDEO_ENCODE, "nvenc", 5 * MS)
+            local_env.run()
+            trace = session.stop()
+            results[spec.name] = trace.gpu_packets[0].running_time
+        ratio = results[GTX_680.name] / results[GTX_1080_TI.name]
+        assert ratio == pytest.approx(GTX_680.video_engine_slowdown,
+                                      rel=0.01)
+        assert ratio < GTX_1080_TI.throughput_relative_to(GTX_680)
+
+    def test_mining_gap_on_unoptimized_architecture(self, env):
+        gap, service = GpuDevice(
+            env, GTX_680, TraceSession(env)).service_profile("ethash", 10 * MS)
+        assert gap > 0
+        optimized_gap, optimized_service = GpuDevice(
+            env, GTX_1080_TI, TraceSession(env)).service_profile(
+                "ethash", 10 * MS)
+        assert optimized_gap == 0
+        assert service > optimized_service
+
+    def test_gtx285_is_much_slower_than_1080ti(self, env):
+        _gap, service_285 = GpuDevice(
+            env, GTX_285, TraceSession(env)).service_profile("frame", 10 * MS)
+        assert service_285 > 30 * 10 * MS / 35  # >~30x slower
+
+
+class TestDeviceAccounting:
+    def test_busy_us_matches_trace(self, env):
+        device, session = make_device(env)
+        process = FakeProcess()
+        for _ in range(3):
+            device.submit(process, ENGINE_3D, "frame", 4 * MS)
+        env.run()
+        trace = session.stop()
+        table_busy = sum(p.running_time for p in trace.gpu_packets)
+        assert device.busy_us() == table_busy == 12 * MS
+
+    def test_utilization_pct(self, env):
+        device, _ = make_device(env)
+        device.submit(FakeProcess(), ENGINE_3D, "frame", 25 * MS)
+        env.run()
+        assert device.utilization_pct(100 * MS) == pytest.approx(25.0)
+
+    def test_utilization_window_validation(self, env):
+        device, _ = make_device(env)
+        with pytest.raises(ValueError):
+            device.utilization_pct(0)
+
+    def test_per_engine_busy(self, env):
+        device, _ = make_device(env)
+        device.submit(FakeProcess(), ENGINE_3D, "frame", 2 * MS)
+        device.submit(FakeProcess(), ENGINE_COMPUTE, "kernel", 3 * MS)
+        env.run()
+        assert device.busy_us(ENGINE_3D) == 2 * MS
+        assert device.busy_us(ENGINE_COMPUTE) == 3 * MS
+
+
+class TestMiningStats:
+    def test_hash_rate_from_batches(self):
+        stats = MiningStats("ethash")
+        stats.add_batch(10)
+        rate = stats.hash_rate(SECOND)
+        assert rate == pytest.approx(10 * HASHES_PER_BATCH["ethash"])
+
+    def test_cpu_hashes_add_to_rate(self):
+        stats = MiningStats("sha256d")
+        stats.add_batch(1)
+        stats.add_cpu_hashes(1000)
+        assert stats.hash_rate(SECOND) == pytest.approx(
+            HASHES_PER_BATCH["sha256d"] + 1000)
+
+    def test_elapsed_validation(self):
+        with pytest.raises(ValueError):
+            MiningStats("ethash").hash_rate(0)
+
+
+class TestTraceIntegration:
+    def test_gpu_table_from_device_trace(self, env):
+        device, session = make_device(env)
+        process = FakeProcess()
+        device.submit(process, ENGINE_3D, "frame", 5 * MS)
+        env.run()
+        trace = session.stop()
+        table = GpuUtilizationTable.from_trace(trace)
+        assert table.process_names() == ["app.exe"]
+        ((engine, start, finish),) = table.packet_intervals()
+        assert engine == ENGINE_3D
+        assert finish - start == 5 * MS

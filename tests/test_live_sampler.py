@@ -1,0 +1,97 @@
+"""Tests for the live /proc TLP sampler (Linux only)."""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.live import LinuxTlpSampler, child_pids, running_threads
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/proc/self/task"),
+    reason="requires a Linux /proc filesystem")
+
+_SPINNER = ("import time,sys;"
+            "end=time.time()+float(sys.argv[1]);\n"
+            "while time.time()<end: pass")
+
+_SLEEPER = "import time,sys; time.sleep(float(sys.argv[1]))"
+
+
+def spawn(code, seconds):
+    return subprocess.Popen([sys.executable, "-c", code, str(seconds)])
+
+
+class TestPrimitives:
+    def test_self_has_at_least_one_running_thread(self):
+        # This test itself is running right now.
+        assert running_threads([os.getpid()]) >= 1
+
+    def test_dead_pid_counts_zero(self):
+        process = spawn(_SLEEPER, 0.01)
+        process.wait()
+        assert running_threads([process.pid]) == 0
+
+    def test_child_pids_discovers_subprocess(self):
+        process = spawn(_SLEEPER, 3)
+        try:
+            time.sleep(0.2)
+            children = child_pids(os.getpid())
+            assert process.pid in children
+        finally:
+            process.kill()
+            process.wait()
+
+
+class TestSampler:
+    def test_requires_pids(self):
+        with pytest.raises(ValueError):
+            LinuxTlpSampler([])
+
+    def test_result_requires_samples(self):
+        with pytest.raises(ValueError):
+            LinuxTlpSampler([os.getpid()]).result()
+
+    def test_validation_of_run_args(self):
+        sampler = LinuxTlpSampler([os.getpid()])
+        with pytest.raises(ValueError):
+            sampler.run(0)
+
+    def test_sleeping_process_samples_near_zero(self):
+        process = spawn(_SLEEPER, 3)
+        try:
+            time.sleep(0.2)
+            sampler = LinuxTlpSampler([process.pid],
+                                      include_children=False)
+            sampler.run(0.4, interval_s=0.01)
+            result = sampler.result()
+            # Nearly every sample sees 0 running threads.
+            assert result.fractions[0] > 0.8
+        finally:
+            process.kill()
+            process.wait()
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 3,
+                        reason="needs >= 3 CPUs for a parallelism test")
+    def test_three_spinners_sample_near_tlp_three(self):
+        spinners = [spawn(_SPINNER, 4) for _ in range(3)]
+        try:
+            time.sleep(0.3)
+            sampler = LinuxTlpSampler([p.pid for p in spinners],
+                                      include_children=False)
+            sampler.run(0.8, interval_s=0.01)
+            result = sampler.result()
+            assert result.tlp == pytest.approx(3.0, abs=0.8)
+            assert result.max_instantaneous >= 2
+        finally:
+            for process in spinners:
+                process.kill()
+                process.wait()
+
+    def test_counts_clamped_to_n_logical(self):
+        sampler = LinuxTlpSampler([os.getpid()], n_logical=1)
+        sampler.samples = []
+        sampler.sample_once()
+        assert sampler.samples[0] <= 1

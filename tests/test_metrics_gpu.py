@@ -1,0 +1,107 @@
+"""Unit tests for GPU utilization metrics and cross-validation."""
+
+import pytest
+
+from repro.gpu import ENGINE_3D, ENGINE_COMPUTE, GpuDevice
+from repro.metrics import cross_validate, measure_gpu_utilization
+from repro.sim import MS, Environment
+from repro.trace import GpuUtilizationTable, TraceSession
+
+
+def table_from_packets(packets, start=0, stop=1000):
+    """packets: iterable of (engine, start_execution, finished)."""
+    rows = [("miner.exe", 8, engine, "kernel", s, s, e)
+            for engine, s, e in packets]
+    return GpuUtilizationTable(rows, start, stop)
+
+
+class TestSumMethod:
+    def test_single_packet_fraction(self):
+        table = table_from_packets([(ENGINE_3D, 0, 250)])
+        result = measure_gpu_utilization(table)
+        assert result.utilization_pct == pytest.approx(25.0)
+        assert not result.capped
+
+    def test_empty_table_is_zero(self):
+        result = measure_gpu_utilization(table_from_packets([]))
+        assert result.utilization_pct == 0.0
+        assert result.max_concurrent_packets == 0
+
+    def test_sum_of_ratios_counts_overlap_twice(self):
+        # Two engines each busy the whole window: the paper's
+        # PhoenixMiner case — sum saturates and is flagged.
+        table = table_from_packets([
+            (ENGINE_3D, 0, 1000), (ENGINE_COMPUTE, 0, 1000)])
+        result = measure_gpu_utilization(table)
+        assert result.utilization_pct == 100.0
+        assert result.capped
+        assert result.max_concurrent_packets == 2
+
+    def test_packets_clipped_to_window(self):
+        table = table_from_packets([(ENGINE_3D, 0, 500)])
+        result = measure_gpu_utilization(table, window=(250, 750))
+        assert result.utilization_pct == pytest.approx(50.0)
+
+    def test_process_filtering(self):
+        rows = [
+            ("a.exe", 1, ENGINE_3D, "frame", 0, 0, 500),
+            ("b.exe", 2, ENGINE_3D, "frame", 500, 500, 1000),
+        ]
+        table = GpuUtilizationTable(rows, 0, 1000)
+        a_only = measure_gpu_utilization(table, processes={"a.exe"})
+        assert a_only.utilization_pct == pytest.approx(50.0)
+
+
+class TestUnionMethod:
+    def test_union_does_not_double_count(self):
+        table = table_from_packets([
+            (ENGINE_3D, 0, 600), (ENGINE_COMPUTE, 0, 600)])
+        result = measure_gpu_utilization(table, method="union")
+        assert result.utilization_pct == pytest.approx(60.0)
+        assert not result.capped
+
+    def test_methods_agree_without_overlap(self):
+        table = table_from_packets([
+            (ENGINE_3D, 0, 300), (ENGINE_3D, 400, 700)])
+        by_sum = measure_gpu_utilization(table, method="sum")
+        by_union = measure_gpu_utilization(table, method="union")
+        assert by_sum.utilization_pct == pytest.approx(
+            by_union.utilization_pct)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            measure_gpu_utilization(table_from_packets([]), method="median")
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            measure_gpu_utilization(table_from_packets([]), window=(5, 5))
+
+
+class TestCrossValidation:
+    def test_device_counters_match_trace(self):
+        env = Environment()
+        session = TraceSession(env)
+        session.start()
+        device = GpuDevice(env, __import__(
+            "repro.hardware", fromlist=["GTX_1080_TI"]).GTX_1080_TI, session)
+
+        class Process:
+            name, pid = "app.exe", 8
+
+        for _ in range(4):
+            device.submit(Process(), ENGINE_3D, "frame", 5 * MS)
+        env.run()
+        trace = session.stop()
+        table = GpuUtilizationTable.from_trace(trace)
+        delta = cross_validate(table, device)
+        assert delta < 0.5
+
+    def test_mismatch_detected(self):
+        env = Environment()
+        from repro.hardware import GTX_1080_TI
+
+        device = GpuDevice(env, GTX_1080_TI, TraceSession(env))
+        # Hand-built table claims busy time the device never executed.
+        table = table_from_packets([(ENGINE_3D, 0, 900)], stop=1000)
+        with pytest.raises(ValueError):
+            cross_validate(table, device)

@@ -1,0 +1,47 @@
+"""Unit tests for iteration statistics helpers."""
+
+import pytest
+
+from repro.metrics import mean, relative_difference_pct, summarize
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.std == pytest.approx(1.63299, rel=1e-4)
+        assert summary.n == 3
+
+    def test_single_value_has_zero_std(self):
+        summary = summarize([3.3])
+        assert summary.std == 0.0
+        assert summary.minimum == summary.maximum == 3.3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_format(self):
+        text = str(summarize([1.0, 2.0, 3.0]))
+        assert "2.0" in text and "n=3" in text
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestRelativeDifference:
+    def test_positive_difference(self):
+        assert relative_difference_pct(110, 100) == pytest.approx(10.0)
+
+    def test_negative_difference(self):
+        assert relative_difference_pct(90, 100) == pytest.approx(-10.0)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_difference_pct(1, 0)

@@ -1,0 +1,89 @@
+"""Unit tests for the memory/cache contention counters (VTune substitute)."""
+
+import pytest
+
+from repro.os import MemoryModel, WorkClass
+from repro.sim import MS
+
+
+class TestMemoryModel:
+    def test_unseen_process_has_empty_counters(self):
+        counters = MemoryModel().counters("nobody.exe")
+        assert counters.work_us == 0
+        assert counters.l1_stall_pct == 0.0
+        assert counters.llc_misses_per_ms == 0.0
+
+    def test_l1_stall_alone_matches_paper_baseline(self):
+        model = MemoryModel()
+        model.record_slice("a.exe", WorkClass.FU_BOUND, 100 * MS,
+                           sibling_busy=False, sibling_same_process=False)
+        assert model.counters("a.exe").l1_stall_pct == pytest.approx(5.3)
+
+    def test_l1_stall_contended_matches_paper(self):
+        model = MemoryModel()
+        model.record_slice("a.exe", WorkClass.FU_BOUND, 100 * MS,
+                           sibling_busy=True, sibling_same_process=True)
+        assert model.counters("a.exe").l1_stall_pct == pytest.approx(10.7)
+
+    def test_shared_sibling_reduces_llc_misses(self):
+        alone, shared = MemoryModel(), MemoryModel()
+        alone.record_slice("a.exe", WorkClass.FU_BOUND, 50 * MS,
+                           sibling_busy=False, sibling_same_process=False)
+        shared.record_slice("a.exe", WorkClass.FU_BOUND, 50 * MS,
+                            sibling_busy=True, sibling_same_process=True)
+        assert (shared.counters("a.exe").llc_misses
+                < alone.counters("a.exe").llc_misses)
+
+    def test_foreign_sibling_does_not_reduce_misses(self):
+        alone, foreign = MemoryModel(), MemoryModel()
+        alone.record_slice("a.exe", WorkClass.BALANCED, 50 * MS,
+                           sibling_busy=False, sibling_same_process=False)
+        foreign.record_slice("a.exe", WorkClass.BALANCED, 50 * MS,
+                             sibling_busy=True, sibling_same_process=False)
+        assert (foreign.counters("a.exe").llc_misses
+                == pytest.approx(alone.counters("a.exe").llc_misses))
+
+    def test_memory_bound_work_misses_more_than_ui(self):
+        model = MemoryModel()
+        model.record_slice("mem.exe", WorkClass.MEMORY_BOUND, 10 * MS,
+                           sibling_busy=False, sibling_same_process=False)
+        model.record_slice("ui.exe", WorkClass.UI, 10 * MS,
+                           sibling_busy=False, sibling_same_process=False)
+        assert (model.counters("mem.exe").llc_misses
+                > 5 * model.counters("ui.exe").llc_misses)
+
+    def test_mem_wait_scales_with_misses(self):
+        model = MemoryModel()
+        model.record_slice("a.exe", WorkClass.MEMORY_BOUND, 10 * MS,
+                           sibling_busy=False, sibling_same_process=False)
+        counters = model.counters("a.exe")
+        assert counters.mem_wait_us > 0
+        assert counters.mem_wait_us == pytest.approx(
+            counters.llc_misses * 0.09)
+
+    def test_counters_accumulate_across_slices(self):
+        model = MemoryModel()
+        for _ in range(4):
+            model.record_slice("a.exe", WorkClass.BALANCED, 5 * MS,
+                               sibling_busy=False, sibling_same_process=False)
+        assert model.counters("a.exe").work_us == 20 * MS
+
+    def test_contended_time_tracked(self):
+        model = MemoryModel()
+        model.record_slice("a.exe", WorkClass.BALANCED, 5 * MS, True, True)
+        model.record_slice("a.exe", WorkClass.BALANCED, 5 * MS, False, False)
+        assert model.counters("a.exe").contended_us == 5 * MS
+
+    def test_by_class_breakdown(self):
+        model = MemoryModel()
+        model.record_slice("a.exe", WorkClass.UI, 3 * MS, False, False)
+        model.record_slice("a.exe", WorkClass.FU_BOUND, 7 * MS, False, False)
+        by_class = model.counters("a.exe").by_class
+        assert by_class[WorkClass.UI] == 3 * MS
+        assert by_class[WorkClass.FU_BOUND] == 7 * MS
+
+    def test_process_names_sorted(self):
+        model = MemoryModel()
+        model.record_slice("b.exe", WorkClass.UI, MS, False, False)
+        model.record_slice("a.exe", WorkClass.UI, MS, False, False)
+        assert model.process_names() == ["a.exe", "b.exe"]

@@ -1,0 +1,183 @@
+"""Unit tests for thread synchronization primitives."""
+
+import pytest
+
+from repro.hardware import paper_machine
+from repro.os import Barrier, CountdownLatch, Kernel, Lock, MessageQueue, Semaphore
+from repro.sim import MS, Environment
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(Environment(), paper_machine(), turbo=False)
+
+
+class TestLock:
+    def test_uncontended_acquire_is_immediate(self, kernel):
+        lock = Lock(kernel)
+        grant = lock.acquire("a")
+        assert grant.triggered
+        assert lock.locked
+
+    def test_contended_acquire_waits_for_release(self, kernel):
+        lock = Lock(kernel)
+        lock.acquire("a")
+        second = lock.acquire("b")
+        assert not second.triggered
+        lock.release("a")
+        assert second.triggered
+        assert lock.locked  # now held by "b"
+
+    def test_release_unheld_raises(self, kernel):
+        with pytest.raises(RuntimeError):
+            Lock(kernel).release()
+
+    def test_release_by_non_owner_raises(self, kernel):
+        lock = Lock(kernel)
+        lock.acquire("a")
+        with pytest.raises(RuntimeError):
+            lock.release("b")
+
+    def test_fifo_handoff(self, kernel):
+        lock = Lock(kernel)
+        lock.acquire("a")
+        b = lock.acquire("b")
+        c = lock.acquire("c")
+        lock.release("a")
+        assert b.triggered and not c.triggered
+
+    def test_critical_sections_are_exclusive(self, kernel):
+        env = kernel.env
+        lock = Lock(kernel)
+        process = kernel.spawn_process("app.exe")
+        spans = []
+
+        def body(ctx):
+            yield ctx.wait(lock.acquire(ctx.thread))
+            start = ctx.now
+            yield ctx.cpu(10 * MS)
+            spans.append((start, ctx.now))
+            lock.release(ctx.thread)
+
+        for _ in range(3):
+            process.spawn_thread(body)
+        env.run()
+        spans.sort()
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert start >= stop
+
+
+class TestSemaphore:
+    def test_initial_value_grants(self, kernel):
+        semaphore = Semaphore(kernel, value=2)
+        assert semaphore.acquire().triggered
+        assert semaphore.acquire().triggered
+        assert not semaphore.acquire().triggered
+
+    def test_release_wakes_waiter_before_counting(self, kernel):
+        semaphore = Semaphore(kernel, value=0)
+        waiter = semaphore.acquire()
+        semaphore.release()
+        assert waiter.triggered
+        assert semaphore.value == 0
+
+    def test_release_count(self, kernel):
+        semaphore = Semaphore(kernel, value=0)
+        waiters = [semaphore.acquire() for _ in range(3)]
+        semaphore.release(count=2)
+        assert [w.triggered for w in waiters] == [True, True, False]
+
+    def test_negative_value_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            Semaphore(kernel, value=-1)
+
+
+class TestBarrier:
+    def test_fires_when_all_arrive(self, kernel):
+        barrier = Barrier(kernel, parties=3)
+        gates = [barrier.wait() for _ in range(3)]
+        assert all(g.triggered for g in gates)
+        assert gates[0] is gates[1] is gates[2]
+
+    def test_not_before_all_arrive(self, kernel):
+        barrier = Barrier(kernel, parties=2)
+        gate = barrier.wait()
+        assert not gate.triggered
+
+    def test_reusable_across_generations(self, kernel):
+        barrier = Barrier(kernel, parties=2)
+        first = [barrier.wait(), barrier.wait()]
+        second = [barrier.wait(), barrier.wait()]
+        assert all(g.triggered for g in first + second)
+        assert first[0] is not second[0]
+
+    def test_parties_validation(self, kernel):
+        with pytest.raises(ValueError):
+            Barrier(kernel, parties=0)
+
+    def test_threads_synchronize_at_barrier(self, kernel):
+        env = kernel.env
+        barrier = Barrier(kernel, parties=3)
+        process = kernel.spawn_process("app.exe")
+        release_times = []
+
+        def body(delay):
+            def run(ctx):
+                yield ctx.sleep(delay)
+                yield ctx.wait(barrier.wait())
+                release_times.append(ctx.now)
+
+            return run
+
+        for delay in (5 * MS, 10 * MS, 20 * MS):
+            process.spawn_thread(body(delay))
+        env.run()
+        assert release_times == [20 * MS] * 3
+
+
+class TestMessageQueue:
+    def test_put_get_through_threads(self, kernel):
+        env = kernel.env
+        queue = MessageQueue(kernel, capacity=2)
+        process = kernel.spawn_process("app.exe")
+        received = []
+
+        def producer(ctx):
+            for item in range(5):
+                yield ctx.wait(queue.put(item))
+                yield ctx.cpu(MS)
+
+        def consumer(ctx):
+            for _ in range(5):
+                item = yield ctx.wait(queue.get())
+                received.append(item)
+                yield ctx.cpu(2 * MS)
+
+        process.spawn_thread(producer)
+        process.spawn_thread(consumer)
+        env.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_len(self, kernel):
+        queue = MessageQueue(kernel)
+        queue.put("x")
+        assert len(queue) == 1
+
+
+class TestCountdownLatch:
+    def test_fires_after_count(self, kernel):
+        latch = CountdownLatch(kernel, count=2)
+        latch.count_down()
+        assert not latch.done.triggered
+        latch.count_down()
+        assert latch.done.triggered
+
+    def test_extra_countdowns_ignored(self, kernel):
+        latch = CountdownLatch(kernel, count=1)
+        latch.count_down()
+        latch.count_down()  # no error
+        assert latch.done.triggered
+
+    def test_count_validation(self, kernel):
+        with pytest.raises(ValueError):
+            CountdownLatch(kernel, count=0)

@@ -1,0 +1,114 @@
+"""The paper's §VIII conclusions, asserted end-to-end.
+
+Each test reproduces one sentence of the conclusion section from live
+simulated measurements (2018 suite on the paper machine; 2010-era
+models on Blake et al.'s machine where the claim spans eras).
+"""
+
+import pytest
+
+from repro.apps import REGISTRY, create_app
+from repro.apps.era2010 import ERA2010_REGISTRY
+from repro.harness import run_app_once
+from repro.hardware import machine_2010
+from repro.sim import SECOND
+
+DURATION = 30 * SECOND
+
+_cache = {}
+
+
+def run_2018(name):
+    if name not in _cache:
+        _cache[name] = run_app_once(create_app(name), duration_us=DURATION,
+                                    seed=9)
+    return _cache[name]
+
+
+def run_2010(name):
+    key = ("2010", name)
+    if key not in _cache:
+        _cache[key] = run_app_once(ERA2010_REGISTRY[name](),
+                                   machine=machine_2010(),
+                                   duration_us=DURATION, seed=9)
+    return _cache[key]
+
+
+class TestConclusions:
+    def test_vr_tlp_is_about_twice_traditional_3d_gaming(self):
+        # "The average TLP of VR gaming is twice that of traditional
+        # 3D gaming" — measured across the two simulated eras.
+        vr = [run_2018(name).tlp.tlp for name in (
+            "arizona-sunshine", "fallout4", "raw-data", "serious-sam",
+            "space-pirate", "project-cars-2")]
+        gaming_3d = [run_2010(name).tlp.tlp for name in (
+            "crysis", "cod4", "bioshock")]
+        ratio = (sum(vr) / len(vr)) / (sum(gaming_3d) / len(gaming_3d))
+        assert ratio == pytest.approx(2.0, abs=0.5)
+
+    def test_cpu_mining_tlp_beats_80_percent_of_suite(self):
+        # "cryptocurrency miners involving CPU mining have a TLP higher
+        # than that of over 80% of the benchmarks."
+        all_tlps = sorted(run_2018(name).tlp.tlp for name in REGISTRY)
+        cutoff = all_tlps[int(len(all_tlps) * 0.8)]
+        for miner in ("bitcoin-miner", "easyminer"):
+            assert run_2018(miner).tlp.tlp > cutoff
+
+    def test_handbrake_and_photoshop_increased_since_2010(self):
+        # "Noticeable increases were seen in many applications,
+        # including those reputed for effective utilization of
+        # processor cores like HandBrake and Photoshop."
+        assert run_2018("handbrake").tlp.tlp > \
+            run_2010("handbrake-09").tlp.tlp + 2.0
+        assert run_2018("photoshop").tlp.tlp > \
+            run_2010("photoshop-cs4").tlp.tlp + 2.0
+
+    def test_gpu_utilization_lower_than_2010_for_legacy_lineages(self):
+        # "overall GPU utilization was lower than that observed in
+        # 2010" — pairwise across the simulated eras.
+        pairs = (
+            ("quicktime", "quicktime-76"),
+            ("wmp", "wmp-2010"),
+            ("powerdirector", "powerdirector-v7"),
+            ("handbrake", "handbrake-09"),
+            ("firefox", "firefox-35"),
+            ("photoshop", "photoshop-cs4"),
+            ("maya", "maya-2010"),
+        )
+        for new, old in pairs:
+            assert (run_2018(new).gpu_util.utilization_pct
+                    < run_2010(old).gpu_util.utilization_pct), (new, old)
+
+    def test_emerging_workloads_exploit_the_gpu_fully(self):
+        # "emerging workloads, e.g. VR games and cryptocurrency miners,
+        # exhibited great potential, as they fully exploited the
+        # computation power of the GPU."
+        for name in ("phoenixminer", "wineth", "bitcoin-miner",
+                     "easyminer"):
+            assert run_2018(name).gpu_util.utilization_pct > 90
+        vr_utils = [run_2018(name).gpu_util.utilization_pct for name in (
+            "arizona-sunshine", "fallout4", "raw-data", "serious-sam",
+            "space-pirate", "project-cars-2")]
+        assert sum(vr_utils) / len(vr_utils) > 60
+
+    def test_browsers_moved_to_multiprocess_models(self):
+        # "web browsers have shifted from single-process models to
+        # multi-process models".
+        firefox_2010 = run_2010("firefox-35")
+        chrome_2018 = run_2018("chrome")
+        assert len(firefox_2010.process_names) == 1
+        assert len(chrome_2018.process_names) >= 5
+
+    def test_scope_for_optimization_remains(self):
+        # "there is still sufficient scope for software to further
+        # improve hardware utilization": most apps leave most of the
+        # machine idle-or-serial (TLP < 4 on 12 logical CPUs).
+        below_four = sum(1 for name in REGISTRY
+                         if run_2018(name).tlp.tlp < 4.0)
+        assert below_four >= 20
+
+    def test_gpu_underutilized_for_most_applications(self):
+        # Abstract: "The GPU is over-provisioned for most applications".
+        below_20 = sum(1 for name in REGISTRY
+                       if run_2018(name).gpu_util.utilization_pct < 20)
+        assert below_20 >= 18

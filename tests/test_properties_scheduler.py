@@ -1,0 +1,119 @@
+"""Property-based tests of OS-scheduler invariants.
+
+Random workloads (thread counts, burst/sleep patterns, machine widths)
+must never violate the physics of the machine: one thread per logical
+CPU at a time, no overlapping intervals on one CPU, retired work
+bounded by capacity, TLP bounded by machine width.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import paper_machine
+from repro.metrics import measure_tlp
+from repro.os import Kernel, WorkClass
+from repro.sim import MS, SECOND, Environment
+from repro.trace import CpuUsagePreciseTable, TraceSession
+
+workload_strategy = st.lists(
+    st.tuples(
+        st.integers(1, 40),     # burst ms
+        st.integers(0, 30),     # sleep ms
+        st.integers(1, 6),      # repetitions
+        st.sampled_from(list(WorkClass)),
+    ),
+    min_size=1, max_size=10)
+
+machine_width = st.sampled_from([2, 4, 6, 8, 12])
+
+
+def run_workload(threads, width, smt=True):
+    env = Environment()
+    machine = paper_machine().with_logical_cpus(width) if smt else \
+        paper_machine().with_smt(False).with_logical_cpus(width // 2 or 1)
+    session = TraceSession(env)
+    kernel = Kernel(env, machine, session=session, turbo=False)
+    process = kernel.spawn_process("load.exe")
+    session.start()
+
+    def body(burst_ms, sleep_ms, reps, work_class):
+        def run(ctx):
+            for _ in range(reps):
+                yield ctx.cpu(burst_ms * MS, work_class)
+                if sleep_ms:
+                    yield ctx.sleep(sleep_ms * MS)
+
+        return run
+
+    for spec in threads:
+        process.spawn_thread(body(*spec))
+    env.run(until=3 * SECOND)
+    trace = session.stop()
+    return machine, trace
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(workload_strategy, machine_width)
+    def test_no_overlap_on_any_logical_cpu(self, threads, width):
+        _machine, trace = run_workload(threads, width)
+        by_cpu = {}
+        for record in trace.cswitches:
+            by_cpu.setdefault(record.cpu, []).append(
+                (record.switch_in_time, record.switch_out_time))
+        for intervals in by_cpu.values():
+            intervals.sort()
+            for (a_start, a_stop), (b_start, _b_stop) in zip(
+                    intervals, intervals[1:]):
+                assert b_start >= a_stop
+
+    @settings(max_examples=30, deadline=None)
+    @given(workload_strategy, machine_width)
+    def test_cpu_indices_within_topology(self, threads, width):
+        machine, trace = run_workload(threads, width)
+        for record in trace.cswitches:
+            assert 0 <= record.cpu < machine.logical_cpus
+
+    @settings(max_examples=30, deadline=None)
+    @given(workload_strategy, machine_width)
+    def test_busy_time_bounded_by_capacity(self, threads, width):
+        machine, trace = run_workload(threads, width)
+        busy = sum(r.duration for r in trace.cswitches)
+        assert busy <= trace.duration * machine.logical_cpus
+
+    @settings(max_examples=30, deadline=None)
+    @given(workload_strategy, machine_width)
+    def test_tlp_bounded_by_width(self, threads, width):
+        machine, trace = run_workload(threads, width)
+        table = CpuUsagePreciseTable.from_trace(trace)
+        result = measure_tlp(table, machine.logical_cpus)
+        assert 0.0 <= result.tlp <= machine.logical_cpus
+        assert result.max_instantaneous <= machine.logical_cpus
+
+    @settings(max_examples=20, deadline=None)
+    @given(workload_strategy)
+    def test_record_times_are_causal(self, threads):
+        _machine, trace = run_workload(threads, 4)
+        for record in trace.cswitches:
+            assert record.ready_time <= record.switch_in_time
+            assert record.switch_in_time <= record.switch_out_time
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload_strategy, machine_width)
+    def test_determinism_across_identical_runs(self, threads, width):
+        _m1, first = run_workload(threads, width)
+        _m2, second = run_workload(threads, width)
+        assert len(first.cswitches) == len(second.cswitches)
+        assert [(r.cpu, r.switch_in_time, r.switch_out_time)
+                for r in first.cswitches] == \
+               [(r.cpu, r.switch_in_time, r.switch_out_time)
+                for r in second.cswitches]
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload_strategy)
+    def test_single_thread_never_migrates_mid_burst_run(self, threads):
+        # With one thread on a wide machine there is never contention,
+        # so every slice should land on the same (first-choice) CPU.
+        _machine, trace = run_workload(threads[:1], 12)
+        cpus = {r.cpu for r in trace.cswitches}
+        assert len(cpus) == 1

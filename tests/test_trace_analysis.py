@@ -1,0 +1,158 @@
+"""Tests for the extended trace analyses (sampled profile, waits)."""
+
+import pytest
+
+from repro.apps import create_app
+from repro.harness import run_app_once
+from repro.hardware import paper_machine
+from repro.sim import SECOND
+from repro.trace import (
+    CpuUsagePreciseTable,
+    GpuUtilizationTable,
+    SampledProfile,
+    WaitAnalysis,
+    gpu_by_process,
+    threads_by_time,
+    timeline_by_process,
+)
+
+SHORT = 15 * SECOND
+
+
+def table_from(rows, start=0, stop=1000):
+    return CpuUsagePreciseTable(rows, start, stop)
+
+
+def row(process, cpu, ready, start, stop, tid=1):
+    return (process, 1, tid, "t", cpu, ready, start, stop)
+
+
+class TestTimelineByProcess:
+    def test_shares_sum_to_busy_fraction(self):
+        table = table_from([row("a", 0, 0, 0, 500),
+                            row("b", 1, 0, 0, 1000)])
+        shares = timeline_by_process(table, n_logical=2)
+        assert shares["a"] == (500, pytest.approx(0.25))
+        assert shares["b"] == (1000, pytest.approx(0.5))
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            timeline_by_process(table_from([], stop=0), 2)
+
+
+class TestSampledProfile:
+    def test_sampling_recovers_shares(self):
+        table = table_from([row("a", 0, 0, 0, 1000),
+                            row("b", 1, 0, 0, 500)], stop=1000)
+        profile = SampledProfile.from_table(table, n_logical=2,
+                                            interval_us=10)
+        assert profile.share("a") == pytest.approx(0.5, abs=0.02)
+        assert profile.share("b") == pytest.approx(0.25, abs=0.02)
+
+    def test_unknown_process_share_is_zero(self):
+        table = table_from([row("a", 0, 0, 0, 1000)])
+        profile = SampledProfile.from_table(table, 2, interval_us=100)
+        assert profile.share("ghost") == 0.0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            SampledProfile.from_table(table_from([]), 2, interval_us=0)
+
+    def test_sampled_agrees_with_precise_on_real_run(self):
+        run = run_app_once(create_app("handbrake"), duration_us=SHORT,
+                           seed=2, keep_trace=True)
+        machine = paper_machine()
+        profile = SampledProfile.from_table(run.cpu_table,
+                                            machine.logical_cpus,
+                                            interval_us=1000)
+        sampled = profile.share("HandBrake.exe")
+        precise = timeline_by_process(
+            run.cpu_table, machine.logical_cpus)["HandBrake.exe"][1]
+        assert sampled == pytest.approx(precise, abs=0.03)
+
+
+class TestWaitAnalysis:
+    def test_wait_statistics(self):
+        table = table_from([row("a", 0, 0, 10, 20),
+                            row("a", 0, 30, 50, 60)])
+        analysis = WaitAnalysis.from_table(table)
+        summary = analysis.summary("a")
+        assert summary.mean == pytest.approx(15.0)
+        assert summary.maximum == 20
+
+    def test_process_filter(self):
+        table = table_from([row("a", 0, 0, 5, 10),
+                            row("b", 1, 0, 90, 95)])
+        analysis = WaitAnalysis.from_table(table, processes={"a"})
+        assert set(analysis.per_process) == {"a"}
+
+    def test_worst_process(self):
+        table = table_from([row("fast", 0, 0, 1, 10),
+                            row("slow", 1, 0, 80, 90)])
+        assert WaitAnalysis.from_table(table).worst_process() == "slow"
+
+    def test_worst_requires_data(self):
+        with pytest.raises(ValueError):
+            WaitAnalysis.from_table(table_from([])).worst_process()
+
+    def test_contention_raises_scheduler_latency(self):
+        def mean_wait(cores):
+            machine = paper_machine().with_logical_cpus(cores)
+            run = run_app_once(create_app("project-cars-2"),
+                               machine=machine, duration_us=SHORT,
+                               seed=2, keep_trace=True)
+            analysis = WaitAnalysis.from_table(
+                run.cpu_table, processes=run.process_names)
+            waits = [s.mean for s in analysis.per_process.values()]
+            return sum(waits) / len(waits)
+
+        assert mean_wait(4) > mean_wait(12)
+
+
+class TestGpuByProcess:
+    def test_per_process_rollup(self):
+        rows = [
+            ("a.exe", 1, "3D", "frame", 0, 0, 300),
+            ("a.exe", 1, "compute", "kernel", 0, 100, 300),
+            ("b.exe", 2, "3D", "frame", 0, 500, 600),
+        ]
+        table = GpuUtilizationTable(rows, 0, 1000)
+        rollup = gpu_by_process(table)
+        assert rollup["a.exe"] == (500, pytest.approx(50.0))
+        assert rollup["b.exe"] == (100, pytest.approx(10.0))
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            gpu_by_process(GpuUtilizationTable([], 5, 5))
+
+    def test_matches_metric_on_real_run(self):
+        run = run_app_once(create_app("winx"), duration_us=SHORT,
+                           seed=2, keep_trace=True)
+        rollup = gpu_by_process(run.gpu_table)
+        app_share = rollup["WinXVideoConverter.exe"][1]
+        assert app_share == pytest.approx(
+            run.gpu_util.utilization_pct, abs=0.1)
+
+
+class TestThreadsByTime:
+    def test_ranked_descending(self):
+        table = table_from([row("a", 0, 0, 0, 100, tid=1),
+                            row("a", 1, 0, 0, 400, tid=2),
+                            row("b", 2, 0, 0, 250, tid=3)])
+        ranked = threads_by_time(table)
+        assert [r[3] for r in ranked] == [400, 250, 100]
+
+    def test_process_filter_and_top(self):
+        table = table_from([row("a", 0, 0, 0, 100, tid=1),
+                            row("a", 1, 0, 0, 400, tid=2),
+                            row("b", 2, 0, 0, 250, tid=3)])
+        ranked = threads_by_time(table, process="a", top=1)
+        assert len(ranked) == 1
+        assert ranked[0][0] == "a" and ranked[0][3] == 400
+
+    def test_identifies_encode_workers_in_real_run(self):
+        run = run_app_once(create_app("handbrake"), duration_us=SHORT,
+                           seed=2, keep_trace=True)
+        top = threads_by_time(run.cpu_table, process="HandBrake.exe",
+                              top=5)
+        assert all(name.startswith("encode") for _p, name, _t, _b in top)

@@ -1,0 +1,112 @@
+"""Tests for the VR substrate: headsets, compositor, frame policies."""
+
+import pytest
+
+from repro.apps.vr_gaming import Fallout4VR, ProjectCars2, SpacePirateTrainer
+from repro.harness import run_app_once
+from repro.hardware import paper_machine
+from repro.metrics import frame_rate_series
+from repro.sim import SECOND
+from repro.vr import ASW, HEADSETS, REPROJECTION, RIFT, VIVE, VIVE_PRO
+
+DURATION = 20 * SECOND
+
+
+def run_vr(cls, headset, machine=None, duration=DURATION, seed=4):
+    return run_app_once(cls(headset=headset), machine=machine,
+                        duration_us=duration, seed=seed)
+
+
+class TestHeadsetSpecs:
+    def test_three_headsets_registered(self):
+        assert set(HEADSETS) == {"rift", "vive", "vive-pro"}
+
+    def test_policies(self):
+        assert RIFT.policy == ASW
+        assert VIVE.policy == REPROJECTION
+        assert VIVE_PRO.policy == REPROJECTION
+
+    def test_vive_pro_has_higher_resolution_load(self):
+        assert VIVE_PRO.gpu_load_factor > VIVE.gpu_load_factor == 1.0
+
+    def test_all_target_90_fps(self):
+        assert all(h.target_fps == 90 for h in HEADSETS.values())
+
+
+class TestCompositorBehaviour:
+    def test_full_machine_sustains_90_fps(self):
+        result = run_vr(SpacePirateTrainer, "vive")
+        fps = result.outputs["real_frames"] / (DURATION / SECOND)
+        assert fps == pytest.approx(90, abs=3)
+
+    def test_string_and_spec_headset_arguments_agree(self):
+        by_key = run_vr(SpacePirateTrainer, "rift")
+        by_spec = run_vr(SpacePirateTrainer, RIFT)
+        assert by_key.tlp.tlp == by_spec.tlp.tlp
+
+    def test_unknown_headset_key_rejected(self):
+        with pytest.raises(KeyError):
+            SpacePirateTrainer(headset="psvr")
+
+    def test_rift_tlp_highest(self):
+        # Fig. 12a: Rift's heavier client runtime lifts TLP.
+        rift = run_vr(SpacePirateTrainer, "rift")
+        vive = run_vr(SpacePirateTrainer, "vive")
+        assert rift.tlp.tlp > vive.tlp.tlp
+
+    def test_vive_pro_gpu_util_highest_for_gpu_bound_title(self):
+        # Fig. 12b: the higher-resolution headset works the GPU harder.
+        vive = run_vr(ProjectCars2, "vive")
+        pro = run_vr(ProjectCars2, "vive-pro")
+        assert pro.gpu_util.utilization_pct > \
+            vive.gpu_util.utilization_pct + 5
+
+    def test_fallout4_inverts_on_vive_pro(self):
+        # The paper's exception: Fallout 4 is CPU-bound at Vive Pro
+        # resolution — GPU utilization drops and frame rate falls.
+        vive = run_vr(Fallout4VR, "vive")
+        pro = run_vr(Fallout4VR, "vive-pro")
+        assert pro.gpu_util.utilization_pct < \
+            vive.gpu_util.utilization_pct - 5
+        assert pro.outputs["real_frames"] < vive.outputs["real_frames"] * 0.9
+
+    def test_asw_clamps_to_45_when_cpu_starved(self):
+        # Fig. 7 / §V-F: with only 4 logical cores the Rift engages
+        # ASW and the frame rate clamps near 45 FPS.
+        machine = paper_machine().with_logical_cpus(4)
+        result = run_vr(ProjectCars2, "rift", machine=machine,
+                        duration=30 * SECOND)
+        fps = result.outputs["real_frames"] / 30
+        assert result.outputs.get("asw_engaged", 0) >= 1
+        assert 38 <= fps <= 60
+
+    def test_reprojection_oscillates_when_cpu_starved(self):
+        # Vive at 4 logical cores: real frame rate lands between 45
+        # and 90 with reprojected frames interleaved.
+        machine = paper_machine().with_logical_cpus(4)
+        result = run_vr(ProjectCars2, "vive", machine=machine,
+                        duration=30 * SECOND)
+        fps = result.outputs["real_frames"] / 30
+        assert 45 <= fps <= 85
+        assert result.outputs["reprojected_frames"] > 90
+
+    def test_rift_frame_rate_more_stable_than_vive_pro(self):
+        # Fig. 13: per-second frame-rate variance comparison.
+        def variance(headset):
+            result = run_vr(ProjectCars2, headset, duration=30 * SECOND)
+            series = frame_rate_series(
+                [f for f in result.frames if not f.reprojected],
+                0, 30 * SECOND)
+            values = series.values[1:-1]
+            mean = sum(values) / len(values)
+            return sum((v - mean) ** 2 for v in values) / len(values)
+
+        assert variance("rift") <= variance("vive-pro")
+
+    def test_frames_recorded_in_trace(self):
+        result = run_vr(SpacePirateTrainer, "vive")
+        assert len(result.frames) > 85 * (DURATION // SECOND)
+
+    def test_compositor_runs_in_own_process(self):
+        result = run_vr(SpacePirateTrainer, "vive")
+        assert "vrcompositor.exe" in result.process_names

@@ -1,0 +1,132 @@
+"""End-to-end test of the paper's Fig. 1 measurement workflow.
+
+Start trace -> run testbench -> save .etl -> WPA table extraction ->
+wpaexporter CSV -> custom metric scripts.  Every stage runs on real
+artifacts and the results must agree across the file round-trips.
+"""
+
+import pytest
+
+from repro.apps import create_app
+from repro.automation import InputDriver
+from repro.apps.base import AppRuntime
+from repro.gpu import GpuDevice
+from repro.hardware import paper_machine
+from repro.metrics import (
+    cross_validate,
+    measure_gpu_utilization,
+    measure_tlp,
+)
+from repro.os import Kernel
+from repro.sim import SECOND, Environment
+from repro.trace import (
+    CpuUsagePreciseTable,
+    EtlTrace,
+    GpuUtilizationTable,
+    TraceSession,
+    export_csv,
+    load_cpu_csv,
+    load_gpu_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def workflow_artifacts(tmp_path_factory):
+    """Run the full Fig. 1 pipeline once and share the artifacts."""
+    tmp_path = tmp_path_factory.mktemp("workflow")
+    machine = paper_machine()
+    env = Environment()
+    session = TraceSession(env, machine_name=machine.cpu.name)
+    kernel = Kernel(env, machine, session=session, seed=9)
+    kernel.start_background_services()
+    gpu = GpuDevice(env, machine.gpu, session)
+    driver = InputDriver(kernel, seed=9)
+    runtime = AppRuntime(kernel, gpu, driver, 20 * SECOND, seed=9)
+
+    session.start()                      # UIforETW: start trace
+    create_app("winx").build(runtime)    # start testbench
+    env.run(until=runtime.end_time)
+    trace = session.stop()               # stop testbench, save trace
+
+    etl_path = tmp_path / "capture.etl.jsonl"
+    trace.save(etl_path)
+
+    cpu_csv = tmp_path / "cpu_usage_precise.csv"
+    gpu_csv = tmp_path / "gpu_utilization_fm.csv"
+    loaded_trace = EtlTrace.load(etl_path)
+    export_csv(CpuUsagePreciseTable.from_trace(loaded_trace), cpu_csv)
+    export_csv(GpuUtilizationTable.from_trace(loaded_trace), gpu_csv)
+    return {
+        "machine": machine,
+        "trace": trace,
+        "gpu": gpu,
+        "runtime": runtime,
+        "etl_path": etl_path,
+        "cpu_csv": cpu_csv,
+        "gpu_csv": gpu_csv,
+    }
+
+
+class TestWorkflow:
+    def test_trace_contains_app_and_system_processes(self, workflow_artifacts):
+        processes = workflow_artifacts["trace"].processes
+        assert "WinXVideoConverter.exe" in processes
+        assert "System" in processes
+
+    def test_etl_round_trip_preserves_counts(self, workflow_artifacts):
+        trace = workflow_artifacts["trace"]
+        loaded = EtlTrace.load(workflow_artifacts["etl_path"])
+        assert len(loaded.cswitches) == len(trace.cswitches)
+        assert len(loaded.gpu_packets) == len(trace.gpu_packets)
+
+    def test_tlp_identical_through_csv_round_trip(self, workflow_artifacts):
+        machine = workflow_artifacts["machine"]
+        apps = workflow_artifacts["runtime"].process_names
+        direct = measure_tlp(
+            CpuUsagePreciseTable.from_trace(workflow_artifacts["trace"]),
+            machine.logical_cpus, processes=apps)
+        via_csv = measure_tlp(
+            load_cpu_csv(workflow_artifacts["cpu_csv"]),
+            machine.logical_cpus, processes=apps)
+        assert via_csv.tlp == pytest.approx(direct.tlp, abs=1e-9)
+        assert via_csv.fractions == pytest.approx(direct.fractions)
+
+    def test_gpu_util_identical_through_csv_round_trip(self,
+                                                       workflow_artifacts):
+        apps = workflow_artifacts["runtime"].process_names
+        direct = measure_gpu_utilization(
+            GpuUtilizationTable.from_trace(workflow_artifacts["trace"]),
+            processes=apps)
+        via_csv = measure_gpu_utilization(
+            load_gpu_csv(workflow_artifacts["gpu_csv"]), processes=apps)
+        assert via_csv.utilization_pct == pytest.approx(
+            direct.utilization_pct, abs=1e-9)
+
+    def test_gpu_cross_validation_against_device(self, workflow_artifacts):
+        # Paper §III-C: "We cross-validate the GPU data with those
+        # reported by WPA."
+        table = GpuUtilizationTable.from_trace(workflow_artifacts["trace"])
+        delta = cross_validate(table, workflow_artifacts["gpu"])
+        assert delta < 1.0
+
+    def test_application_filter_excludes_system_activity(self,
+                                                         workflow_artifacts):
+        machine = workflow_artifacts["machine"]
+        table = CpuUsagePreciseTable.from_trace(workflow_artifacts["trace"])
+        apps = workflow_artifacts["runtime"].process_names
+        app_level = measure_tlp(table, machine.logical_cpus, processes=apps)
+        system_wide = measure_tlp(table, machine.logical_cpus)
+        # System-wide includes background services: more busy time.
+        assert system_wide.idle_fraction <= app_level.idle_fraction
+
+    def test_measured_values_resemble_table2(self, workflow_artifacts):
+        machine = workflow_artifacts["machine"]
+        apps = workflow_artifacts["runtime"].process_names
+        tlp = measure_tlp(
+            CpuUsagePreciseTable.from_trace(workflow_artifacts["trace"]),
+            machine.logical_cpus, processes=apps)
+        util = measure_gpu_utilization(
+            GpuUtilizationTable.from_trace(workflow_artifacts["trace"]),
+            processes=apps)
+        assert tlp.tlp == pytest.approx(9.2, abs=1.2)
+        assert util.utilization_pct == pytest.approx(13.6, abs=3.0)
