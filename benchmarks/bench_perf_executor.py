@@ -1,0 +1,85 @@
+"""Perf — parallel experiment executor vs serial on a reduced suite.
+
+Times the Table II protocol over 6 applications x 3 iterations with
+the serial backend and with a 4-worker process pool, asserts the
+parallel results are bit-identical, and records the wall-clock numbers
+to ``BENCH_executor.json`` so later PRs have a perf trajectory.
+
+The >= 2x speedup assertion only applies on machines with >= 4 usable
+CPUs — on a single-core container a process pool cannot beat serial
+execution, and the run records that honestly instead of lying with a
+skipped measurement.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.harness import run_suite
+from repro.harness.executor import default_jobs
+from repro.sim import SECOND
+
+APPS = ("handbrake", "photoshop", "chrome", "vlc", "excel", "wineth")
+ITERATIONS = 3
+DURATION = 10 * SECOND
+JOBS = 4
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_executor.json"
+
+
+def run_measurement():
+    t0 = time.perf_counter()
+    serial = run_suite(names=APPS, duration_us=DURATION,
+                       iterations=ITERATIONS, jobs=1)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_suite(names=APPS, duration_us=DURATION,
+                         iterations=ITERATIONS, jobs=JOBS)
+    t_parallel = time.perf_counter() - t0
+    return serial, parallel, t_serial, t_parallel
+
+
+def test_perf_executor(experiment, report):
+    serial, parallel, t_serial, t_parallel = experiment(run_measurement)
+
+    for name in APPS:
+        assert serial.results[name].fractions == \
+            parallel.results[name].fractions, name
+        assert serial.results[name].tlp == parallel.results[name].tlp, name
+        assert serial.results[name].gpu_util == \
+            parallel.results[name].gpu_util, name
+
+    speedup = t_serial / t_parallel if t_parallel > 0 else 0.0
+    cpus = default_jobs()
+    payload = {
+        "benchmark": "perf_executor",
+        "apps": list(APPS),
+        "iterations": ITERATIONS,
+        "duration_s": DURATION / SECOND,
+        "jobs": JOBS,
+        "usable_cpus": cpus,
+        "wall_serial_s": round(t_serial, 3),
+        "wall_parallel_s": round(t_parallel, 3),
+        "speedup": round(speedup, 2),
+        "bit_identical": True,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+    lines = [
+        "Perf — parallel executor vs serial (reduced Table II suite)",
+        "",
+        f"grid      : {len(APPS)} apps x {ITERATIONS} iterations "
+        f"({DURATION // SECOND}s simulated each)",
+        f"serial    : {t_serial:7.2f} s wall",
+        f"parallel  : {t_parallel:7.2f} s wall (jobs={JOBS}, "
+        f"{cpus} usable CPUs)",
+        f"speedup   : {speedup:7.2f} x",
+        "results   : bit-identical to serial (asserted)",
+    ]
+    report("perf_executor", "\n".join(lines))
+
+    if cpus >= JOBS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {JOBS} workers on {cpus} CPUs, "
+            f"got {speedup:.2f}x")

@@ -30,14 +30,19 @@ def report():
     return emit
 
 
+def _first_line(path):
+    """Read only the title line — index regeneration runs per emit,
+    so slurping whole multi-kilobyte reports here is O(n²) churn."""
+    with path.open("r", encoding="utf-8") as fh:
+        return fh.readline().rstrip("\n")
+
+
 def _update_index():
     """Regenerate reports/INDEX.md from the files present."""
     lines = ["# Benchmark reports", "",
              "One file per regenerated table/figure/ablation:", ""]
     for path in sorted(REPORTS_DIR.glob("*.txt")):
-        first = path.read_text(encoding="utf-8").splitlines()
-        title = first[0] if first else ""
-        lines.append(f"* `{path.name}` — {title}")
+        lines.append(f"* `{path.name}` — {_first_line(path)}")
     (REPORTS_DIR / "INDEX.md").write_text("\n".join(lines) + "\n",
                                           encoding="utf-8")
 

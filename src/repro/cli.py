@@ -21,6 +21,7 @@ Commands
 """
 
 import argparse
+import os
 import sys
 
 from repro.apps import REGISTRY, SUITE, create_app
@@ -29,6 +30,29 @@ from repro.harness import run_app, run_suite
 from repro.hardware import GPUS, paper_machine
 from repro.reporting import format_table, heat_row, render_table1, render_table2
 from repro.sim import SECOND
+
+
+def _check_exec_args(args, out):
+    """Validate ``--jobs``/``--cache`` before any simulation starts."""
+    if getattr(args, "jobs", None) is not None and args.jobs < 0:
+        out("error: --jobs must be >= 0 (0 = one process per CPU)")
+        return 2
+    cache = getattr(args, "cache", None)
+    if cache == "":
+        out("error: --cache requires a directory path")
+        return 2
+    if cache is not None and os.path.exists(cache) and not os.path.isdir(cache):
+        out(f"error: --cache {cache!r} is not a directory")
+        return 2
+    return 0
+
+
+def _cache_from_args(args):
+    if getattr(args, "cache", None) is None:
+        return None
+    from repro.harness import ResultCache
+
+    return ResultCache(args.cache)
 
 
 def _machine_from_args(args):
@@ -60,6 +84,8 @@ def cmd_system(_args, out):
 
 
 def cmd_run(args, out):
+    if _check_exec_args(args, out):
+        return 2
     if args.era == 2010:
         from repro.apps.era2010 import ERA2010_REGISTRY
         from repro.hardware import machine_2010
@@ -82,7 +108,9 @@ def cmd_run(args, out):
                      machine=machine,
                      duration_us=int(args.duration * SECOND),
                      iterations=args.iterations,
-                     driver_mode=driver)
+                     driver_mode=driver,
+                     jobs=args.jobs,
+                     cache=_cache_from_args(args))
     out(f"{result.display_name} on {machine.cpu.name} "
         f"({machine.logical_cpus} LCPUs, SMT "
         f"{'on' if machine.smt_enabled else 'off'}, {machine.gpu.name})")
@@ -99,6 +127,8 @@ def cmd_run(args, out):
 
 
 def cmd_suite(args, out):
+    if _check_exec_args(args, out):
+        return 2
     names = SUITE if not args.apps else tuple(args.apps.split(","))
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
@@ -107,7 +137,9 @@ def cmd_suite(args, out):
     suite = run_suite(names=names,
                       machine=_machine_from_args(args),
                       duration_us=int(args.duration * SECOND),
-                      iterations=args.iterations)
+                      iterations=args.iterations,
+                      jobs=args.jobs,
+                      cache=_cache_from_args(args))
     out(render_table2(suite))
     if args.json:
         from repro.harness.persistence import save_suite
@@ -162,6 +194,12 @@ def build_parser():
                        help="simulated seconds per iteration")
         p.add_argument("--iterations", type=int, default=3,
                        help="iterations (paper protocol: 3)")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="parallel simulation processes "
+                            "(default: serial; 0 = one per CPU)")
+        p.add_argument("--cache", default=None, metavar="DIR",
+                       help="reuse simulation results cached under DIR "
+                            "(created on first use)")
 
     run_parser = sub.add_parser("run", help="run one application")
     run_parser.add_argument("app", help="registry key (see `list`)")

@@ -8,7 +8,15 @@ from repro.harness.runner import (
     run_app as _run_app_model,
     run_app_once as _run_app_once_model,
 )
+from repro.harness.cache import ResultCache
 from repro.harness.colocate import ColocatedRun, run_colocated
+from repro.harness.executor import (
+    ParallelExecutor,
+    RunSpec,
+    SerialExecutor,
+    make_spec,
+    resolve_executor,
+)
 from repro.harness.suite import SuiteResult, run_suite
 from repro.harness.sweeps import core_scaling_sweep, gpu_swap_sweep, smt_sweep
 
@@ -38,10 +46,16 @@ __all__ = [
     "ColocatedRun",
     "DEFAULT_DURATION_US",
     "DEFAULT_ITERATIONS",
+    "ParallelExecutor",
+    "ResultCache",
+    "RunSpec",
+    "SerialExecutor",
     "SingleRun",
     "SuiteResult",
     "core_scaling_sweep",
     "gpu_swap_sweep",
+    "make_spec",
+    "resolve_executor",
     "run_app",
     "run_app_once",
     "run_colocated",

@@ -1,0 +1,159 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A grid point is fully determined by (application + config, machine
+spec, seed, duration, scheduler knobs, code version), so its
+:class:`~repro.harness.runner.SingleRun` can be reused across
+processes and across benchmark campaigns.  The cache maps a canonical
+SHA-256 of that tuple to a pickled result file:
+
+    <root>/<key[:2]>/<key>.pkl
+
+Design points:
+
+* **Canonical keys.**  ``key_for`` folds the spec into a canonical
+  JSON document (sorted dict items, dataclasses by field, enums by
+  value) before hashing, so dict ordering or spec spelling never
+  splits the key space.  Objects without a stable canonical form
+  (e.g. an application instance carrying a lambda) make the spec
+  *uncacheable* — ``key_for`` returns ``None`` and the grid point is
+  simply recomputed, never mis-keyed.
+* **Code version.**  Every key includes ``repro.__version__``;
+  bumping the package version invalidates the whole cache rather
+  than risking stale physics.
+* **Corruption fallback.**  An unreadable or truncated entry counts
+  as a miss; the bad file is removed and the result recomputed.
+* **Atomic writes.**  Entries are written to a temp file and
+  ``os.replace``d so concurrent writers (parallel executors of two
+  campaigns) never expose half-written results.
+"""
+
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+
+import repro
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-results``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-results"
+
+
+class UncacheableSpec(Exception):
+    """The spec has no stable canonical form; skip the cache."""
+
+
+def _canonical(value):
+    """Reduce ``value`` to a JSON-serializable canonical structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        items = [[_canonical(k), _canonical(v)] for k, v in value.items()]
+        items.sort(key=repr)
+        return ["dict", items]
+    if isinstance(value, (list, tuple)):
+        return ["seq", [_canonical(v) for v in value]]
+    if isinstance(value, (set, frozenset)):
+        return ["set", sorted((_canonical(v) for v in value), key=repr)]
+    if isinstance(value, enum.Enum):
+        return ["enum", type(value).__qualname__, _canonical(value.value)]
+    if is_dataclass(value) and not isinstance(value, type):
+        return ["dc", f"{type(value).__module__}.{type(value).__qualname__}",
+                [[f.name, _canonical(getattr(value, f.name))]
+                 for f in fields(value)]]
+    raise UncacheableSpec(f"no canonical form for {type(value)!r}")
+
+
+def _canonical_app(app, config):
+    if isinstance(app, str):
+        return ["name", app, _canonical(config)]
+    return ["model", f"{type(app).__module__}.{type(app).__qualname__}",
+            _canonical(vars(app))]
+
+
+def spec_key(spec, code_version=None):
+    """Canonical SHA-256 hex key of a :class:`RunSpec`, or ``None``."""
+    try:
+        payload = {
+            "code": code_version or repro.__version__,
+            "app": _canonical_app(spec.app, spec.config),
+            "kwargs": _canonical(spec.kwargs),
+        }
+    except UncacheableSpec:
+        return None
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickled :class:`SingleRun` results keyed by canonical spec hash."""
+
+    def __init__(self, root=None, code_version=None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.code_version = code_version or repro.__version__
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(self, spec):
+        """Cache key for ``spec`` (``None`` when uncacheable)."""
+        return spec_key(spec, code_version=self.code_version)
+
+    def _path(self, key):
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key):
+        """``(result,)`` on a hit, ``None`` on a miss.
+
+        The one-tuple wrapper keeps a legitimately-``None`` payload
+        distinguishable from a miss.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt or unreadable entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return (result,)
+
+    def store(self, key, result):
+        """Atomically persist ``result`` under ``key``.
+
+        Unpicklable results are skipped (the run still returns its
+        live value); the cache only ever fails open.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.stores += 1

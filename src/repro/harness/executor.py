@@ -1,0 +1,224 @@
+"""Execution engine: fan out independent simulation grid points.
+
+Every measurement the harness takes — an iteration of the Table II
+protocol, one cell of the Fig. 8 SMT grid, one core count of the
+Fig. 4 scaling sweep — is an independent, seed-determined simulation:
+it builds its own :class:`~repro.sim.environment.Environment`, its own
+kernel and its own trace session.  Nothing is shared between grid
+points, so they can run in any order and on any number of worker
+processes and still produce bit-identical results.
+
+This module is the single submission path for those grid points:
+
+* :class:`RunSpec` — a picklable description of one simulation
+  (application, machine, seed, scheduler knobs);
+* :class:`SerialExecutor` — runs specs in submission order in the
+  current process (the seed behaviour);
+* :class:`ParallelExecutor` — fans specs out over a
+  ``concurrent.futures.ProcessPoolExecutor``; specs that cannot be
+  pickled (e.g. an application instance carrying a lambda) fall back
+  to in-process execution instead of failing;
+* :func:`resolve_executor` — maps the user-facing ``jobs=N`` /
+  ``executor=`` / ``cache=`` keyword surface onto a backend.
+
+Both executors consult an optional
+:class:`~repro.harness.cache.ResultCache` before simulating and store
+fresh results afterwards, so re-running a benchmark suite skips
+already-computed grid points.  ``keep_trace=True`` runs bypass the
+cache entirely: traces are large, and callers who keep them want the
+live artifacts.
+"""
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from dataclasses import dataclass, field
+
+from repro.automation import AUTOIT
+from repro.hardware import paper_machine
+from repro.sim import SECOND
+
+#: Default values of every :func:`repro.harness.runner.run_app_once`
+#: knob.  Specs are normalized against these so the same grid point
+#: hashes to the same cache key regardless of which keywords the
+#: caller spelled out.  (The 60-second duration mirrors
+#: ``runner.DEFAULT_DURATION_US``; it lives here to keep the import
+#: graph acyclic — runner imports this module.)
+RUN_DEFAULTS = {
+    "machine": None,
+    "duration_us": 60 * SECOND,
+    "seed": 0,
+    "driver_mode": AUTOIT,
+    "keep_trace": False,
+    "gpu_method": "sum",
+    "background_services": True,
+    "turbo": True,
+    "dispatch_policy": "spread",
+    "quantum": None,
+}
+
+
+@dataclass
+class RunSpec:
+    """One independent simulation grid point.
+
+    ``app`` is either a registry key (preferred for process fan-out:
+    the worker instantiates a fresh model) or an
+    :class:`~repro.apps.base.AppModel` instance.  ``config`` holds
+    ``create_app`` keyword arguments and only applies to the former.
+    ``kwargs`` is the full, normalized keyword set for
+    :func:`~repro.harness.runner.run_app_once`.
+    """
+
+    app: object
+    config: dict = field(default_factory=dict)
+    kwargs: dict = field(default_factory=dict)
+
+
+def make_spec(app, config=None, **overrides):
+    """Build a normalized :class:`RunSpec`.
+
+    Unspecified knobs take their ``run_app_once`` defaults and
+    ``machine=None`` resolves to the paper machine, so equivalent
+    calls produce equivalent specs (and therefore equal cache keys).
+    """
+    unknown = set(overrides) - set(RUN_DEFAULTS)
+    if unknown:
+        raise TypeError(f"unknown run knobs: {sorted(unknown)}")
+    kwargs = dict(RUN_DEFAULTS)
+    kwargs.update(overrides)
+    if kwargs["machine"] is None:
+        kwargs["machine"] = paper_machine()
+    return RunSpec(app=app, config=dict(config or {}), kwargs=kwargs)
+
+
+def execute_spec(spec):
+    """Run one spec to a :class:`~repro.harness.runner.SingleRun`.
+
+    Module-level so a ``ProcessPoolExecutor`` worker can import it;
+    the heavyweight imports stay inside to keep executor importable
+    without dragging in the whole harness.
+    """
+    from repro.apps import create_app
+    from repro.harness.runner import run_app_once
+
+    app = spec.app
+    if isinstance(app, str):
+        app = create_app(app, **spec.config)
+    elif spec.config:
+        raise ValueError("config kwargs only apply when app is a name")
+    return run_app_once(app, **spec.kwargs)
+
+
+def default_jobs():
+    """Worker count for ``jobs=0`` (auto): the usable CPU count."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class _CachingExecutor:
+    """Shared map-with-cache logic of both backends.
+
+    ``executed`` counts simulations actually run (cache hits excluded)
+    — the warm-cache acceptance check reads it.
+    """
+
+    def __init__(self, cache=None):
+        self.cache = cache
+        self.executed = 0
+
+    def map(self, specs):
+        """Run every spec; returns results in submission order."""
+        specs = list(specs)
+        results = [None] * len(specs)
+        keys = [None] * len(specs)
+        pending = []
+        for i, spec in enumerate(specs):
+            if self.cache is not None and not spec.kwargs.get("keep_trace"):
+                keys[i] = self.cache.key_for(spec)
+                if keys[i] is not None:
+                    hit = self.cache.load(keys[i])
+                    if hit is not None:
+                        results[i] = hit[0]
+                        continue
+            pending.append(i)
+        self._execute(specs, pending, results)
+        if self.cache is not None:
+            for i in pending:
+                if keys[i] is not None:
+                    self.cache.store(keys[i], results[i])
+        return results
+
+    def _execute(self, specs, pending, results):
+        raise NotImplementedError
+
+
+class SerialExecutor(_CachingExecutor):
+    """Run specs one after another in the current process."""
+
+    jobs = 1
+
+    def _execute(self, specs, pending, results):
+        for i in pending:
+            results[i] = execute_spec(specs[i])
+            self.executed += 1
+
+
+class ParallelExecutor(_CachingExecutor):
+    """Fan specs out over a process pool.
+
+    Results are bit-identical to :class:`SerialExecutor` because each
+    grid point is fully seed-determined and owns its environment; the
+    determinism regression test in ``tests/test_executor.py`` asserts
+    it.  Unpicklable specs run in-process rather than failing.
+    """
+
+    def __init__(self, jobs=0, cache=None):
+        super().__init__(cache)
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = auto)")
+        self.jobs = jobs or default_jobs()
+
+    def _execute(self, specs, pending, results):
+        remote, local = [], []
+        for i in pending:
+            (remote if self.jobs > 1 and _picklable(specs[i])
+             else local).append(i)
+        if len(remote) == 1:
+            local.append(remote.pop())
+        if remote:
+            with _ProcessPool(
+                    max_workers=min(self.jobs, len(remote))) as pool:
+                futures = [(i, pool.submit(execute_spec, specs[i]))
+                           for i in remote]
+                for i, future in futures:
+                    results[i] = future.result()
+        for i in local:
+            results[i] = execute_spec(specs[i])
+        self.executed += len(pending)
+
+
+def _picklable(spec):
+    try:
+        pickle.dumps(spec)
+        return True
+    except Exception:
+        return False
+
+
+def resolve_executor(jobs=None, executor=None, cache=None):
+    """Map the harness keyword surface onto an executor backend.
+
+    ``executor`` wins when given (``jobs`` must then be unset);
+    ``jobs=None`` or ``1`` selects the serial backend, ``jobs=0``
+    auto-sizes a process pool, ``jobs>1`` pins its worker count.
+    """
+    if executor is not None:
+        if jobs is not None:
+            raise ValueError("pass either jobs or executor, not both")
+        return executor
+    if jobs is None or jobs == 1:
+        return SerialExecutor(cache=cache)
+    return ParallelExecutor(jobs=jobs, cache=cache)

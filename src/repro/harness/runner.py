@@ -13,6 +13,7 @@ from repro.automation import AUTOIT, InputDriver
 from repro.apps.base import AppRuntime
 from repro.gpu import GpuDevice
 from repro.hardware import paper_machine
+from repro.harness.executor import make_spec, resolve_executor
 from repro.metrics import (
     Summary,
     measure_gpu_utilization,
@@ -136,21 +137,25 @@ def _aggregate_counters(memory_model, processes):
     return merged
 
 
-def run_app(app, machine=None, duration_us=DEFAULT_DURATION_US,
-            iterations=DEFAULT_ITERATIONS, base_seed=100,
-            driver_mode=AUTOIT, keep_trace=False, gpu_method="sum",
-            turbo=True, dispatch_policy="spread", quantum=None):
-    """Run ``iterations`` seeded repetitions and summarize them."""
+def iteration_specs(app, machine=None, duration_us=DEFAULT_DURATION_US,
+                    iterations=DEFAULT_ITERATIONS, base_seed=100,
+                    driver_mode=AUTOIT, keep_trace=False, gpu_method="sum",
+                    turbo=True, dispatch_policy="spread", quantum=None):
+    """The N seed-derived grid points of one ``run_app`` measurement."""
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
-    runs = [
-        run_app_once(app, machine=machine, duration_us=duration_us,
-                     seed=base_seed + 17 * k, driver_mode=driver_mode,
-                     keep_trace=keep_trace, gpu_method=gpu_method,
-                     turbo=turbo, dispatch_policy=dispatch_policy,
-                     quantum=quantum)
+    return [
+        make_spec(app, machine=machine, duration_us=duration_us,
+                  seed=base_seed + 17 * k, driver_mode=driver_mode,
+                  keep_trace=keep_trace, gpu_method=gpu_method,
+                  turbo=turbo, dispatch_policy=dispatch_policy,
+                  quantum=quantum)
         for k in range(iterations)
     ]
+
+
+def summarize_runs(app, runs):
+    """Aggregate per-iteration runs into one Table II row."""
     n_levels = max(len(r.tlp.fractions) for r in runs)
     fractions = [
         sum(r.tlp.fractions[i] if i < len(r.tlp.fractions) else 0.0
@@ -168,3 +173,25 @@ def run_app(app, machine=None, duration_us=DEFAULT_DURATION_US,
         gpu_capped=any(r.gpu_util.capped for r in runs),
         runs=runs,
     )
+
+
+def run_app(app, machine=None, duration_us=DEFAULT_DURATION_US,
+            iterations=DEFAULT_ITERATIONS, base_seed=100,
+            driver_mode=AUTOIT, keep_trace=False, gpu_method="sum",
+            turbo=True, dispatch_policy="spread", quantum=None,
+            jobs=None, executor=None, cache=None):
+    """Run ``iterations`` seeded repetitions and summarize them.
+
+    ``jobs`` selects the execution backend (``None``/1 serial, 0 an
+    auto-sized process pool, N a pool of N workers); alternatively
+    pass a prebuilt ``executor``.  ``cache`` is an optional
+    :class:`~repro.harness.cache.ResultCache` consulted per iteration.
+    """
+    specs = iteration_specs(
+        app, machine=machine, duration_us=duration_us,
+        iterations=iterations, base_seed=base_seed,
+        driver_mode=driver_mode, keep_trace=keep_trace,
+        gpu_method=gpu_method, turbo=turbo,
+        dispatch_policy=dispatch_policy, quantum=quantum)
+    runs = resolve_executor(jobs=jobs, executor=executor, cache=cache).map(specs)
+    return summarize_runs(app, runs)

@@ -3,12 +3,24 @@
 Runs every application in the registry for N iterations on the paper
 machine and aggregates per-category averages, the overall average TLP
 and the TLP > 4 count the paper's abstract headlines.
+
+The whole protocol is one flat grid of independent simulations
+(30 applications x 3 iterations), so it submits through the execution
+engine in a single batch: ``jobs=N`` fans the grid out over N worker
+processes with bit-identical results, and a ``cache`` skips grid
+points a previous campaign already computed.
 """
 
 from dataclasses import dataclass
 
 from repro.apps import CATEGORIES, SUITE, create_app
-from repro.harness.runner import DEFAULT_DURATION_US, DEFAULT_ITERATIONS, run_app
+from repro.harness.executor import resolve_executor
+from repro.harness.runner import (
+    DEFAULT_DURATION_US,
+    DEFAULT_ITERATIONS,
+    iteration_specs,
+    summarize_runs,
+)
 from repro.metrics import mean
 
 
@@ -47,11 +59,20 @@ class SuiteResult:
 
 
 def run_suite(names=SUITE, machine=None, duration_us=DEFAULT_DURATION_US,
-              iterations=DEFAULT_ITERATIONS, **kwargs):
+              iterations=DEFAULT_ITERATIONS, jobs=None, executor=None,
+              cache=None, **kwargs):
     """Run the Table II protocol over ``names`` and aggregate."""
-    results = {}
+    executor = resolve_executor(jobs=jobs, executor=executor, cache=cache)
+    specs, spans = [], []
     for name in names:
-        results[name] = run_app(create_app(name), machine=machine,
-                                duration_us=duration_us,
-                                iterations=iterations, **kwargs)
-    return SuiteResult(results=results)
+        app = create_app(name)
+        app_specs = iteration_specs(app, machine=machine,
+                                    duration_us=duration_us,
+                                    iterations=iterations, **kwargs)
+        spans.append((app, len(specs), len(specs) + len(app_specs)))
+        specs.extend(app_specs)
+    runs = executor.map(specs)
+    return SuiteResult(results={
+        app.name: summarize_runs(app, runs[lo:hi])
+        for app, lo, hi in spans
+    })

@@ -7,15 +7,25 @@ These drive the paper's architectural-decision experiments:
 * :func:`smt_sweep` — Fig. 8 (transcode rate and GPU utilization at
   2/4/6 physical cores, SMT on/off, two GPUs).
 * :func:`gpu_swap_sweep` — Figs. 9-10 (GTX 680 vs GTX 1080 Ti).
+
+Every grid point is an independent simulation, so each sweep builds
+its full grid of :class:`~repro.harness.executor.RunSpec` up front
+and submits it through the execution engine in one batch — ``jobs=N``
+/ ``executor=`` / ``cache=`` work exactly as in ``run_suite``.
 """
 
 from repro.hardware import GTX_1080_TI, GTX_680, paper_machine
-from repro.harness.runner import DEFAULT_DURATION_US, run_app, run_app_once
+from repro.harness.executor import make_spec, resolve_executor
+from repro.harness.runner import (
+    DEFAULT_DURATION_US,
+    iteration_specs,
+    summarize_runs,
+)
 
 
 def core_scaling_sweep(app_factory, logical_cpus=(4, 8, 12), machine=None,
                        duration_us=DEFAULT_DURATION_US, iterations=1,
-                       **kwargs):
+                       jobs=None, executor=None, cache=None, **kwargs):
     """Run an app at several logical-CPU counts (SMT enabled).
 
     ``app_factory`` is a zero-argument callable returning a *fresh*
@@ -23,16 +33,24 @@ def core_scaling_sweep(app_factory, logical_cpus=(4, 8, 12), machine=None,
     ordered dict ``{count: AppResult}``.
     """
     base = machine or paper_machine()
-    results = {}
+    executor = resolve_executor(jobs=jobs, executor=executor, cache=cache)
+    specs, spans = [], []
     for count in logical_cpus:
-        results[count] = run_app(
-            app_factory(), machine=base.with_logical_cpus(count),
-            duration_us=duration_us, iterations=iterations, **kwargs)
-    return results
+        app = app_factory()
+        app_specs = iteration_specs(app,
+                                    machine=base.with_logical_cpus(count),
+                                    duration_us=duration_us,
+                                    iterations=iterations, **kwargs)
+        spans.append((count, app, len(specs), len(specs) + len(app_specs)))
+        specs.extend(app_specs)
+    runs = executor.map(specs)
+    return {count: summarize_runs(app, runs[lo:hi])
+            for count, app, lo, hi in spans}
 
 
 def smt_sweep(app_factory, physical_cores=(2, 4, 6), gpus=None,
-              duration_us=DEFAULT_DURATION_US, seed=11, **kwargs):
+              duration_us=DEFAULT_DURATION_US, seed=11, jobs=None,
+              executor=None, cache=None, **kwargs):
     """The Fig. 8 grid: physical cores x SMT on/off x GPU model.
 
     Returns ``{(gpu_name, smt_enabled, cores): SingleRun}``.  With SMT
@@ -40,26 +58,35 @@ def smt_sweep(app_factory, physical_cores=(2, 4, 6), gpus=None,
     SMT off they expose ``cores``.
     """
     gpus = gpus or (GTX_1080_TI, GTX_680)
-    results = {}
+    executor = resolve_executor(jobs=jobs, executor=executor, cache=cache)
+    keys, specs = [], []
     for gpu in gpus:
         base = paper_machine().with_gpu(gpu)
         for smt in (True, False):
             for cores in physical_cores:
                 machine = base.with_smt(smt).with_logical_cpus(
                     cores * (2 if smt else 1))
-                results[(gpu.name, smt, cores)] = run_app_once(
-                    app_factory(), machine=machine,
-                    duration_us=duration_us, seed=seed, **kwargs)
-    return results
+                keys.append((gpu.name, smt, cores))
+                specs.append(make_spec(app_factory(), machine=machine,
+                                       duration_us=duration_us, seed=seed,
+                                       **kwargs))
+    return dict(zip(keys, executor.map(specs)))
 
 
 def gpu_swap_sweep(app_factory, gpus=None, duration_us=DEFAULT_DURATION_US,
-                   iterations=1, **kwargs):
+                   iterations=1, jobs=None, executor=None, cache=None,
+                   **kwargs):
     """Run an app on each GPU; returns ``{gpu_name: AppResult}``."""
     gpus = gpus or (GTX_680, GTX_1080_TI)
-    results = {}
+    executor = resolve_executor(jobs=jobs, executor=executor, cache=cache)
+    specs, spans = [], []
     for gpu in gpus:
-        results[gpu.name] = run_app(
-            app_factory(), machine=paper_machine().with_gpu(gpu),
+        app = app_factory()
+        app_specs = iteration_specs(
+            app, machine=paper_machine().with_gpu(gpu),
             duration_us=duration_us, iterations=iterations, **kwargs)
-    return results
+        spans.append((gpu.name, app, len(specs), len(specs) + len(app_specs)))
+        specs.extend(app_specs)
+    runs = executor.map(specs)
+    return {name: summarize_runs(app, runs[lo:hi])
+            for name, app, lo, hi in spans}

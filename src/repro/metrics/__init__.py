@@ -2,8 +2,11 @@
 
 from repro.metrics.gpu import GpuUtilResult, cross_validate, measure_gpu_utilization
 from repro.metrics.intervals import (
+    FusedSweep,
     clip,
     concurrency_profile,
+    fused_sweep,
+    interval_events,
     max_concurrency,
     union_length,
 )
@@ -29,6 +32,7 @@ from repro.metrics.tlp import (
 )
 
 __all__ = [
+    "FusedSweep",
     "GpuUtilResult",
     "ResponseLatency",
     "Summary",
@@ -39,7 +43,9 @@ __all__ = [
     "concurrency_profile",
     "cross_validate",
     "frame_rate_series",
+    "fused_sweep",
     "instantaneous_gpu_utilization",
+    "interval_events",
     "instantaneous_tlp",
     "max_concurrency",
     "mean",

@@ -15,7 +15,7 @@ cross-validation.
 
 from dataclasses import dataclass
 
-from repro.metrics.intervals import max_concurrency, union_length
+from repro.metrics.intervals import fused_sweep, interval_events
 
 
 @dataclass
@@ -41,16 +41,23 @@ def measure_gpu_utilization(gpu_table, processes=None, window=None,
     if stop <= start:
         raise ValueError("empty measurement window")
     total = stop - start
-    intervals = [(s, e) for _engine, s, e
-                 in gpu_table.packet_intervals(processes=processes)]
-    clipped = [(max(s, start), min(e, stop)) for s, e in intervals
-               if min(e, stop) > max(s, start)]
-    peak = max_concurrency(clipped, start, stop)
-    if method == "union":
-        busy = union_length(clipped, start, stop)
-        value, capped = 100.0 * busy / total, False
+    # Fast path: the fused sweep over the table's memoized event array
+    # yields union length and peak concurrency in one traversal; the
+    # sum-of-ratios path reuses the memoized span list.
+    if hasattr(gpu_table, "packet_events"):
+        events = gpu_table.packet_events(processes)
+        spans = gpu_table.packet_spans(processes)
     else:
-        busy = sum(e - s for s, e in clipped)
+        spans = sorted((s, e) for _engine, s, e
+                       in gpu_table.packet_intervals(processes=processes))
+        events = interval_events(spans)
+    sweep = fused_sweep((), start, stop, events=events)
+    peak = sweep.max_concurrency
+    if method == "union":
+        value, capped = 100.0 * sweep.union_length / total, False
+    else:
+        busy = sum(min(e, stop) - max(s, start) for s, e in spans
+                   if min(e, stop) > max(s, start))
         value = 100.0 * busy / total
         capped = value > 100.0
         if capped:

@@ -2,9 +2,29 @@
 
 Everything in the metrics layer reduces to questions about sets of
 ``(start, stop)`` busy intervals: how long were exactly *k* of them
-active (concurrency profile), and how long was at least one active
-(union length).
+active (concurrency profile), how long was at least one active (union
+length), and how many were ever active at once (max concurrency).
+
+All of them are answered by one fused sweep over the sorted
+``(time, +1/-1)`` event stream.  Instead of clipping intervals to the
+measurement window up front, the sweep clamps each event time into
+the window as it goes: an interval entirely outside the window
+degenerates to a ``+1``/``-1`` pair at the same boundary instant,
+which contributes zero measure and is ignored by the
+positive-span-only peak tracking — exactly the clip-first semantics,
+without rebuilding and re-sorting the event list per query.  That
+clamping is what lets callers (``measure_tlp`` over hundreds of
+time-series windows) reuse one cached, pre-sorted event array for
+every window.
 """
+
+from collections import namedtuple
+
+#: Result of :func:`fused_sweep`: the ``{level: microseconds}``
+#: concurrency profile, the union length, and the peak concurrency —
+#: all from a single traversal.
+FusedSweep = namedtuple("FusedSweep",
+                        ("profile", "union_length", "max_concurrency"))
 
 
 def clip(intervals, window_start, window_stop):
@@ -18,47 +38,116 @@ def clip(intervals, window_start, window_stop):
     return clipped
 
 
-def concurrency_profile(intervals, window_start, window_stop):
+def interval_events(intervals):
+    """Sorted ``(time, +1/-1)`` edge events of ``intervals``.
+
+    Ties sort ``-1`` before ``+1`` so touching intervals never count
+    as concurrent.  Build once, reuse across windows via the
+    ``events=`` parameter of the sweep functions.
+    """
+    events = []
+    for start, stop in intervals:
+        events.append((start, 1))
+        events.append((stop, -1))
+    events.sort()
+    return events
+
+
+def fused_sweep(intervals, window_start, window_stop, *, events=None):
+    """Concurrency profile, union length and peak in one traversal.
+
+    Pass pre-sorted ``events`` (from :func:`interval_events`) to skip
+    the per-call extract-and-sort; ``intervals`` is ignored then.
+    """
+    if window_stop < window_start:
+        raise ValueError("window_stop before window_start")
+    if events is None:
+        events = interval_events(intervals)
+    total = window_stop - window_start
+    profile = {0: total}
+    level = 0
+    covered = 0
+    peak = 0
+    prev = window_start
+    for time, delta in events:
+        if time < window_start:
+            time = window_start
+        elif time > window_stop:
+            time = window_stop
+        if time > prev:
+            span = time - prev
+            profile[level] = profile.get(level, 0) + span
+            if level > 0:
+                covered += span
+                if level > peak:
+                    peak = level
+            prev = time
+        level += delta
+    profile[0] = total - covered
+    return FusedSweep(profile, covered, peak)
+
+
+def concurrency_profile(intervals, window_start, window_stop, *, events=None):
     """Time spent at each concurrency level within the window.
 
     Returns a dict ``{level: microseconds}`` where ``level`` counts how
     many intervals overlap; level 0 covers the remainder of the window.
     """
+    return fused_sweep(intervals, window_start, window_stop,
+                       events=events).profile
+
+
+def union_length(intervals, window_start, window_stop, *, events=None):
+    """Length of the union of intervals within the window.
+
+    Single pass: accumulates covered time on every ``1 -> 0`` level
+    transition instead of materializing the full profile dict.
+    """
     if window_stop < window_start:
         raise ValueError("window_stop before window_start")
-    total = window_stop - window_start
-    profile = {0: total}
-    events = []
-    for start, stop in clip(intervals, window_start, window_stop):
-        events.append((start, 1))
-        events.append((stop, -1))
-    if not events:
-        return profile
-    events.sort()
+    if events is None:
+        events = interval_events(intervals)
     level = 0
     covered = 0
-    prev_time = events[0][0]
+    open_since = 0
     for time, delta in events:
-        if time > prev_time:
-            span = time - prev_time
-            profile[level] = profile.get(level, 0) + span
-            if level > 0:
-                covered += span
-            prev_time = time
+        if time < window_start:
+            time = window_start
+        elif time > window_stop:
+            time = window_stop
+        if delta > 0:
+            if level == 0:
+                open_since = time
+            level += 1
+        else:
+            level -= 1
+            if level == 0:
+                covered += time - open_since
+    return covered
+
+
+def max_concurrency(intervals, window_start, window_stop, *, events=None):
+    """Peak number of simultaneously active intervals in the window.
+
+    Single pass: tracks the running level, counting a level only once
+    it has persisted for a positive span inside the window (zero-width
+    boundary spikes from out-of-window intervals are ignored, matching
+    the clip-first definition).
+    """
+    if window_stop < window_start:
+        raise ValueError("window_stop before window_start")
+    if events is None:
+        events = interval_events(intervals)
+    level = 0
+    peak = 0
+    prev = None
+    for time, delta in events:
+        if time < window_start:
+            time = window_start
+        elif time > window_stop:
+            time = window_stop
+        if prev is not None and time > prev and level > peak:
+            peak = level
+        prev = time
         level += delta
-    profile[0] = total - covered
-    return profile
-
-
-def union_length(intervals, window_start, window_stop):
-    """Length of the union of intervals within the window."""
-    profile = concurrency_profile(intervals, window_start, window_stop)
-    return sum(length for level, length in profile.items() if level > 0)
-
-
-def max_concurrency(intervals, window_start, window_stop):
-    """Peak number of simultaneously active intervals in the window."""
-    profile = concurrency_profile(intervals, window_start, window_stop)
-    active_levels = [level for level, length in profile.items()
-                     if level > 0 and length > 0]
-    return max(active_levels, default=0)
+    return peak

@@ -15,7 +15,7 @@ TLP of the 2000/2010 prior work — we do the same by passing
 
 from dataclasses import dataclass, field
 
-from repro.metrics.intervals import concurrency_profile, max_concurrency
+from repro.metrics.intervals import fused_sweep, interval_events
 
 
 @dataclass
@@ -80,9 +80,17 @@ def measure_tlp(cpu_table, n_logical, processes=None, window=None):
     start, stop = window or (cpu_table.trace_start, cpu_table.trace_stop)
     if stop <= start:
         raise ValueError("empty measurement window")
-    intervals = [(s, e) for _cpu, s, e
-                 in cpu_table.busy_intervals(processes=processes)]
-    profile = concurrency_profile(intervals, start, stop)
+    # Fast path: one fused traversal of the table's memoized sorted
+    # event array computes the profile and the peak together — windowed
+    # callers (instantaneous TLP) never re-extract or re-sort rows.
+    if hasattr(cpu_table, "busy_events"):
+        events = cpu_table.busy_events(processes)
+    else:
+        events = interval_events(
+            [(s, e) for _cpu, s, e
+             in cpu_table.busy_intervals(processes=processes)])
+    sweep = fused_sweep((), start, stop, events=events)
+    profile = sweep.profile
     total = stop - start
     fractions = [profile.get(level, 0) / total for level in range(n_logical + 1)]
     overflow = sum(length for level, length in profile.items()
@@ -94,6 +102,6 @@ def measure_tlp(cpu_table, n_logical, processes=None, window=None):
     return TlpResult(
         tlp=tlp_from_fractions(fractions),
         fractions=fractions,
-        max_instantaneous=min(max_concurrency(intervals, start, stop), n_logical),
+        max_instantaneous=min(sweep.max_concurrency, n_logical),
         window_us=total,
     )

@@ -97,7 +97,16 @@ class Scheduler:
         self.turbo = turbo
         self.dispatch_policy = dispatch_policy
         self.lcpus = build_topology(machine)
+        #: Sibling tuples indexed by ``lcpu.index`` — precomputed once
+        #: so the per-slice hot paths below never rebuild sibling lists.
         self._siblings = self._map_siblings()
+        #: Incremental per-core busy counters (kept in sync by
+        #: ``_occupy``/``_vacate``) replace the per-slice set
+        #: comprehensions of ``busy_physical_cores``.
+        self._core_busy = [0] * (max((l.core for l in self.lcpus),
+                                     default=-1) + 1)
+        self._busy_cores = 0
+        self._n_cores = len({l.core for l in self.lcpus})
         self._ready = deque()
         #: Total nominal work retired, per process name (for throughput
         #: metrics like transcode rate sanity checks).
@@ -107,11 +116,23 @@ class Scheduler:
         by_core = {}
         for lcpu in self.lcpus:
             by_core.setdefault(lcpu.core, []).append(lcpu)
-        siblings = {}
-        for mates in by_core.values():
-            for lcpu in mates:
-                siblings[lcpu.index] = [m for m in mates if m is not lcpu]
-        return siblings
+        return [tuple(m for m in by_core[lcpu.core] if m is not lcpu)
+                for lcpu in self.lcpus]
+
+    def _occupy(self, lcpu, thread):
+        lcpu.thread = thread
+        core = lcpu.core
+        self._core_busy[core] += 1
+        if self._core_busy[core] == 1:
+            self._busy_cores += 1
+
+    def _vacate(self, lcpu):
+        lcpu.thread = None
+        lcpu.work_class = None
+        core = lcpu.core
+        self._core_busy[core] -= 1
+        if self._core_busy[core] == 0:
+            self._busy_cores -= 1
 
     # -- state inspection ----------------------------------------------
 
@@ -121,7 +142,7 @@ class Scheduler:
 
     def busy_physical_cores(self):
         """Number of physical cores with at least one busy sibling."""
-        return len({l.core for l in self.lcpus if not l.idle})
+        return self._busy_cores
 
     def _clock_factor(self):
         """Turbo-boost speed multiplier based on active core count.
@@ -132,8 +153,8 @@ class Scheduler:
         if not self.turbo:
             return 1.0
         cpu = self.machine.cpu
-        busy = max(1, self.busy_physical_cores())
-        total = max(1, len({l.core for l in self.lcpus}))
+        busy = max(1, self._busy_cores)
+        total = max(1, self._n_cores)
         span = cpu.turbo_clock_ghz - cpu.base_clock_ghz
         frac = (busy - 1) / max(1, total - 1)
         clock = cpu.turbo_clock_ghz - span * frac
@@ -142,11 +163,13 @@ class Scheduler:
     def speed_of(self, lcpu, work_class):
         """Execution speed (nominal work per wall µs) on ``lcpu`` now."""
         speed = self._clock_factor()
-        siblings = self._siblings[lcpu.index]
-        busy_siblings = [s for s in siblings if not s.idle]
+        busy_siblings = 0
+        for s in self._siblings[lcpu.index]:
+            if s.thread is not None:
+                busy_siblings += 1
         if busy_siblings:
             pair = smt_pair_throughput(self.machine.cpu, work_class)
-            speed *= pair / (1 + len(busy_siblings))
+            speed *= pair / (1 + busy_siblings)
         return speed
 
     # -- dispatch -------------------------------------------------------
@@ -161,20 +184,21 @@ class Scheduler:
         """
         last = getattr(thread, "last_cpu", None)
         warm = None
+        core_busy = self._core_busy
         if last is not None and last < len(self.lcpus):
             candidate = self.lcpus[last]
-            if candidate.idle:
-                if self.dispatch_policy == "fill" or all(
-                        s.idle for s in self._siblings[candidate.index]):
+            if candidate.thread is None:
+                if (self.dispatch_policy == "fill"
+                        or core_busy[candidate.core] == 0):
                     return candidate
                 warm = candidate
         fallback = warm
         for lcpu in self.lcpus:
-            if not lcpu.idle:
+            if lcpu.thread is not None:
                 continue
             if self.dispatch_policy == "fill":
                 return lcpu
-            if all(s.idle for s in self._siblings[lcpu.index]):
+            if core_busy[lcpu.core] == 0:
                 return lcpu
             if fallback is None:
                 fallback = lcpu
@@ -187,7 +211,7 @@ class Scheduler:
             if lcpu is None:
                 return
             self._ready.popleft()
-            lcpu.thread = thread
+            self._occupy(lcpu, thread)
             thread.last_cpu = lcpu.index
             grant.succeed(lcpu)
 
@@ -233,18 +257,21 @@ class Scheduler:
                 self._ready = deque(
                     entry for entry in self._ready if entry[1] is not grant)
                 if grant.triggered:
-                    granted = grant.value
-                    granted.thread = None
-                    granted.work_class = None
+                    self._vacate(grant.value)
                     self._dispatch()
                 raise
             thread.state = ThreadState.RUNNING
             lcpu.work_class = work_class
             speed = self.speed_of(lcpu, work_class)
-            sibling_busy = any(not s.idle for s in self._siblings[lcpu.index])
-            sibling_same_process = any(
-                (not s.idle) and s.thread.process is thread.process
-                for s in self._siblings[lcpu.index])
+            sibling_busy = False
+            sibling_same_process = False
+            for s in self._siblings[lcpu.index]:
+                other = s.thread
+                if other is not None:
+                    sibling_busy = True
+                    if other.process is thread.process:
+                        sibling_same_process = True
+                        break
             cap = self.quantum if self._ready else RESAMPLE_PERIOD
             wall = min(max(1, math.ceil(remaining / speed)), cap)
             switch_in = env.now
@@ -272,8 +299,7 @@ class Scheduler:
                     self.energy_model.record_slice(
                         thread.process.name, work_class, wall,
                         self._clock_factor())
-            lcpu.thread = None
-            lcpu.work_class = None
+            self._vacate(lcpu)
             self._dispatch()
             if interrupted is not None:
                 raise interrupted

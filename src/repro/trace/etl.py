@@ -38,6 +38,7 @@ class EtlTrace:
         self.frames = list(frames)
         self.marks = list(marks)
         self.machine_name = machine_name
+        self._processes = None
 
     @property
     def duration(self):
@@ -46,10 +47,19 @@ class EtlTrace:
 
     @property
     def processes(self):
-        """Sorted names of every process appearing in the trace."""
-        names = {r.process for r in self.cswitches}
-        names.update(r.process for r in self.gpu_packets)
-        return sorted(names)
+        """Sorted names of every process appearing in the trace.
+
+        Memoized on first access (metric and report code reads this
+        repeatedly).  Code that mutates the record lists in place —
+        against the immutable-by-convention contract — must reset
+        ``_processes`` to ``None``; ``filter_processes`` returns a
+        fresh trace, so the convention holds there.
+        """
+        if self._processes is None:
+            names = {r.process for r in self.cswitches}
+            names.update(r.process for r in self.gpu_packets)
+            self._processes = tuple(sorted(names))
+        return list(self._processes)
 
     def filter_processes(self, predicate):
         """A new trace keeping only records whose process satisfies

@@ -15,8 +15,21 @@ numbers.  This module is that entire middle of the pipeline.
 import csv
 
 
+def _freeze_processes(processes):
+    """Hashable cache key for an optional process-name set."""
+    return None if processes is None else frozenset(processes)
+
+
 class CpuUsagePreciseTable:
-    """Rows of the CPU Usage (Precise) analysis."""
+    """Rows of the CPU Usage (Precise) analysis.
+
+    Rows are immutable by convention (like the trace they come from);
+    the per-process-set event and interval extractions below are
+    memoized on that assumption, so every windowed query over the same
+    table — ``measure_tlp`` plus hundreds of ``instantaneous_tlp``
+    windows — shares one sorted array instead of re-extracting and
+    re-sorting the records each time.
+    """
 
     COLUMNS = ("process", "pid", "tid", "thread_name", "cpu",
                "ready_time", "switch_in_time", "switch_out_time")
@@ -25,6 +38,8 @@ class CpuUsagePreciseTable:
         self.rows = list(rows)
         self.trace_start = trace_start
         self.trace_stop = trace_stop
+        self._events_cache = {}
+        self._by_cpu_cache = {}
 
     @classmethod
     def from_trace(cls, trace):
@@ -43,6 +58,35 @@ class CpuUsagePreciseTable:
             if processes is None or row[0] in processes:
                 yield row[4], row[6], row[7]
 
+    def busy_events(self, processes=None):
+        """Sorted ``(time, +1/-1)`` switch-in/out events, memoized per
+        process set — the fast path behind ``measure_tlp``."""
+        key = _freeze_processes(processes)
+        events = self._events_cache.get(key)
+        if events is None:
+            events = []
+            for row in self.rows:
+                if processes is None or row[0] in processes:
+                    events.append((row[6], 1))
+                    events.append((row[7], -1))
+            events.sort()
+            self._events_cache[key] = events
+        return events
+
+    def intervals_by_cpu(self, processes=None):
+        """``{cpu: [(start, stop), ...]}`` sorted per CPU, memoized."""
+        key = _freeze_processes(processes)
+        by_cpu = self._by_cpu_cache.get(key)
+        if by_cpu is None:
+            by_cpu = {}
+            for row in self.rows:
+                if processes is None or row[0] in processes:
+                    by_cpu.setdefault(row[4], []).append((row[6], row[7]))
+            for intervals in by_cpu.values():
+                intervals.sort()
+            self._by_cpu_cache[key] = by_cpu
+        return by_cpu
+
     def process_names(self):
         """Sorted distinct process names in the table."""
         return sorted({row[0] for row in self.rows})
@@ -58,6 +102,8 @@ class GpuUtilizationTable:
         self.rows = list(rows)
         self.trace_start = trace_start
         self.trace_stop = trace_stop
+        self._events_cache = {}
+        self._spans_cache = {}
 
     @classmethod
     def from_trace(cls, trace):
@@ -73,6 +119,32 @@ class GpuUtilizationTable:
         for row in self.rows:
             if processes is None or row[0] in processes:
                 yield row[2], row[5], row[6]
+
+    def packet_events(self, processes=None):
+        """Sorted ``(time, +1/-1)`` packet start/finish events, memoized
+        per process set (rows are immutable by convention)."""
+        key = _freeze_processes(processes)
+        events = self._events_cache.get(key)
+        if events is None:
+            events = []
+            for row in self.rows:
+                if processes is None or row[0] in processes:
+                    events.append((row[5], 1))
+                    events.append((row[6], -1))
+            events.sort()
+            self._events_cache[key] = events
+        return events
+
+    def packet_spans(self, processes=None):
+        """Sorted ``(start_execution, finished)`` pairs, memoized —
+        feeds the sum-of-ratios utilization without re-filtering."""
+        key = _freeze_processes(processes)
+        spans = self._spans_cache.get(key)
+        if spans is None:
+            spans = sorted((row[5], row[6]) for row in self.rows
+                           if processes is None or row[0] in processes)
+            self._spans_cache[key] = spans
+        return spans
 
     def process_names(self):
         return sorted({row[0] for row in self.rows})

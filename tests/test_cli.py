@@ -82,6 +82,37 @@ class TestCommands:
                               "--iterations", "1", "--manual"])
         assert code == 0
 
+    def test_negative_jobs_fails_cleanly(self):
+        code, text = run_cli(["run", "excel", "--duration", "5",
+                              "--iterations", "1", "--jobs", "-1"])
+        assert code == 2
+        assert "--jobs" in text
+
+    def test_empty_cache_path_fails_cleanly(self):
+        code, text = run_cli(["run", "excel", "--duration", "5",
+                              "--iterations", "1", "--cache", ""])
+        assert code == 2
+        assert "--cache" in text
+
+    def test_cache_path_must_be_a_directory(self, tmp_path):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        code, text = run_cli(["suite", "--apps", "excel", "--duration", "5",
+                              "--iterations", "1", "--cache", str(not_a_dir)])
+        assert code == 2
+        assert "not a directory" in text
+
+    def test_jobs_and_cache_run(self, tmp_path):
+        argv = ["suite", "--apps", "excel", "--duration", "5",
+                "--iterations", "1", "--jobs", "2",
+                "--cache", str(tmp_path)]
+        code, cold = run_cli(argv)
+        assert code == 0
+        code, warm = run_cli(argv)
+        assert code == 0
+        assert warm == cold
+        assert list(tmp_path.rglob("*.pkl"))
+
 
     def test_suite_exports(self, tmp_path):
         json_path = tmp_path / "out.json"

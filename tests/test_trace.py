@@ -176,3 +176,42 @@ class TestWpaTables:
         export_csv(cpu_table, path)
         with pytest.raises(ValueError):
             load_gpu_csv(path)
+
+
+class TestMemoizedExtractions:
+    def test_busy_events_sorted_and_cached(self):
+        table = CpuUsagePreciseTable.from_trace(make_trace())
+        events = table.busy_events(processes={"app.exe"})
+        assert events == sorted(events)
+        assert sum(delta for _t, delta in events) == 0
+        # Same process set (any set form) returns the same cached array.
+        assert table.busy_events(processes=frozenset({"app.exe"})) is events
+        assert table.busy_events() is table.busy_events()
+
+    def test_busy_events_match_busy_intervals(self):
+        table = CpuUsagePreciseTable.from_trace(make_trace())
+        expected = []
+        for _cpu, start, stop in table.busy_intervals():
+            expected += [(start, 1), (stop, -1)]
+        assert table.busy_events() == sorted(expected)
+
+    def test_intervals_by_cpu_grouped_and_sorted(self):
+        table = CpuUsagePreciseTable.from_trace(make_trace())
+        by_cpu = table.intervals_by_cpu()
+        assert set(by_cpu) == {0, 1, 2}
+        assert by_cpu[0] == [(10, 50)]
+        assert table.intervals_by_cpu() is by_cpu
+
+    def test_packet_events_and_spans_cached(self):
+        table = GpuUtilizationTable.from_trace(make_trace())
+        assert table.packet_spans(processes={"app.exe"}) == [(2, 30)]
+        events = table.packet_events()
+        assert events == [(2, 1), (30, -1), (30, 1), (60, -1)]
+        assert table.packet_events() is events
+
+    def test_etl_processes_memoized(self):
+        trace = make_trace()
+        first = trace.processes
+        assert first == ["System", "app.exe", "other.exe"]
+        first.append("mutated.exe")          # caller copies are independent
+        assert trace.processes == ["System", "app.exe", "other.exe"]
