@@ -1,0 +1,266 @@
+"""Perf — sim-kernel fast paths, columnar buffers, streaming metrics.
+
+Two measurements, three trace modes:
+
+* **Trace pipeline**: push N context-switch events through a
+  ``TraceSession`` and compute TLP — the per-event cost the PR
+  attacks.  ``legacy`` (``columnar=False``) preserves the pre-PR
+  storage path (one frozen dataclass per record, eager lists, post-hoc
+  sweep) as a living baseline; ``columnar`` appends to flat arrays;
+  ``streaming`` feeds occupancy edges to the online engine and never
+  stores anything.
+* **Scheduler stress**: an end-to-end kernel run with 32 contending
+  threads, where generator/heapq machinery dominates — reported so the
+  pipeline numbers cannot be mistaken for whole-simulation speedups.
+
+Wall time is best-of-R (single-core containers are noisy); peak memory
+comes from a separate tracemalloc pass so instrumentation does not
+pollute the timings.  Numbers land in ``BENCH_sim_kernel.json``
+alongside the pre-PR reference measured from a worktree of commit
+b796bec on this same container.  ``REPRO_BENCH_QUICK=1`` shrinks the
+event counts for CI smoke runs and skips the speedup assertions (tiny
+runs on shared runners measure noise, not the kernel).
+"""
+
+import gc
+import json
+import os
+import pathlib
+import time
+import tracemalloc
+
+from repro.hardware import paper_machine
+from repro.metrics import OnlineMetricsEngine, measure_tlp
+from repro.os import Kernel, WorkClass
+from repro.sim import MS, SECOND, Environment
+from repro.trace import CpuUsagePreciseTable, TraceSession
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+N_EVENTS = 60_000 if QUICK else 400_000
+REPEATS = 1 if QUICK else 3
+STRESS_DURATION = (2 if QUICK else 10) * SECOND
+STRESS_THREADS = 32
+N_LOGICAL = 12
+
+BENCH_JSON = (pathlib.Path(__file__).resolve().parent.parent
+              / "BENCH_sim_kernel.json")
+
+#: Trace-pipeline events/sec measured from a ``git worktree`` of the
+#: pre-PR commit on this container (best of interleaved runs).  The
+#: pre-PR tree only has the record-list path, which the in-repo
+#: ``legacy`` mode keeps byte-for-byte comparable.
+PRE_PR_REFERENCE = {
+    "commit": "b796bec",
+    "trace_pipeline_events_per_s": 270_000,
+    "stress_events_per_s_ratio_vs_legacy": 1.2,
+}
+
+
+def _session(env, mode):
+    if mode == "legacy":
+        return TraceSession(env, machine_name="bench", columnar=False)
+    if mode == "columnar":
+        return TraceSession(env, machine_name="bench")
+    return TraceSession(env, machine_name="bench", retain_records=False)
+
+
+def _pipeline_once(mode, n):
+    """One pass of n events through the trace/metrics pipeline."""
+    env = Environment()
+    session = _session(env, mode)
+    engine = (OnlineMetricsEngine(session, N_LOGICAL)
+              if mode == "streaming" else None)
+    names = [f"app{k}.exe" for k in range(8)]
+    threads = [f"worker-{k}" for k in range(16)]
+
+    t0 = time.perf_counter()
+    session.start()
+    if mode == "streaming":
+        for i in range(n):
+            # The same edges the scheduler emits, in time order.  The
+            # clock is advanced directly: this isolates trace-path cost
+            # from kernel machinery (the stress run covers the rest).
+            cpu = i % N_LOGICAL
+            session.emit_cpu_busy(names[i % 8], cpu)
+            env._now = i * 3 + 2
+            session.emit_cpu_idle(names[i % 8], cpu)
+            env._now = i * 3 + 3
+        env._now = n * 3
+        session.stop()
+        tlp = engine.tlp_result()
+    else:
+        for i in range(n):
+            t = i * 3
+            session.emit_cswitch(names[i % 8], 4, 100 + (i % 16),
+                                 threads[i % 16], i % N_LOGICAL, t, t, t + 2)
+        env._now = n * 3
+        trace = session.stop()
+        table = CpuUsagePreciseTable.from_trace(trace)
+        tlp = measure_tlp(table, N_LOGICAL)
+    wall = time.perf_counter() - t0
+    return wall, tlp
+
+
+def _pipeline_peak_bytes(mode, n):
+    tracemalloc.start()
+    try:
+        _pipeline_once(mode, n)
+        _size, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def _burner(total):
+    def body(ctx):
+        remaining = total
+        while remaining > 0:
+            step = min(remaining, 1 * MS)
+            yield ctx.cpu(step, WorkClass.BALANCED)
+            remaining -= step
+            yield ctx.sleep(step // 5)
+    return body
+
+
+def _stress_once(mode, duration):
+    """End-to-end kernel run: 32 threads contending for 12 LCPUs."""
+    env = Environment()
+    machine = paper_machine()
+    session = _session(env, mode)
+    kernel = Kernel(env, machine, session=session, seed=1)
+    engine = (OnlineMetricsEngine(session, machine.logical_cpus)
+              if mode == "streaming" else None)
+    proc = kernel.spawn_process("stress.exe")
+    for i in range(STRESS_THREADS):
+        proc.spawn_thread(_burner(duration), name=f"w{i}")
+
+    t0 = time.perf_counter()
+    session.start()
+    env.run(until=duration)
+    trace = session.stop()
+    if mode == "streaming":
+        tlp = engine.tlp_result()
+    else:
+        tlp = measure_tlp(CpuUsagePreciseTable.from_trace(trace),
+                          machine.logical_cpus)
+    wall = time.perf_counter() - t0
+    return wall, env._eid, tlp
+
+
+def run_measurement():
+    # Repeats are interleaved round-robin (and each run starts from a
+    # collected heap) so a slow period on a shared single-core box
+    # penalizes every mode equally instead of whichever ran last.
+    pipeline = {m: {"wall_s": None} for m in ("legacy", "columnar",
+                                              "streaming")}
+    for _ in range(REPEATS):
+        for mode, slot in pipeline.items():
+            gc.collect()
+            wall, tlp = _pipeline_once(mode, N_EVENTS)
+            if slot["wall_s"] is None or wall < slot["wall_s"]:
+                slot["wall_s"] = wall
+            slot["tlp"] = tlp
+    for mode, slot in pipeline.items():
+        slot["events_per_s"] = N_EVENTS / slot["wall_s"]
+        gc.collect()
+        slot["peak_bytes"] = _pipeline_peak_bytes(mode, N_EVENTS)
+
+    stress = {m: {"wall_s": None} for m in ("legacy", "streaming")}
+    for _ in range(REPEATS):
+        for mode, slot in stress.items():
+            gc.collect()
+            wall, events, tlp = _stress_once(mode, STRESS_DURATION)
+            if slot["wall_s"] is None or wall < slot["wall_s"]:
+                slot["wall_s"] = wall
+            slot["events"] = events
+            slot["tlp"] = tlp
+    for slot in stress.values():
+        slot["events_per_s"] = slot["events"] / slot["wall_s"]
+    return pipeline, stress
+
+
+def test_perf_sim_kernel(experiment, report):
+    pipeline, stress = experiment(run_measurement)
+
+    # All modes compute the same metric, bit for bit.
+    legacy_tlp = pipeline["legacy"]["tlp"]
+    for mode in ("columnar", "streaming"):
+        assert pipeline[mode]["tlp"].tlp == legacy_tlp.tlp, mode
+        assert pipeline[mode]["tlp"].fractions == legacy_tlp.fractions, mode
+    assert stress["streaming"]["tlp"].tlp == stress["legacy"]["tlp"].tlp
+    assert (stress["streaming"]["tlp"].fractions
+            == stress["legacy"]["tlp"].fractions)
+
+    pipe_speedup = (pipeline["streaming"]["events_per_s"]
+                    / pipeline["legacy"]["events_per_s"])
+    mem_ratio = (pipeline["legacy"]["peak_bytes"]
+                 / max(pipeline["streaming"]["peak_bytes"], 1))
+    stress_speedup = (stress["streaming"]["events_per_s"]
+                      / stress["legacy"]["events_per_s"])
+
+    payload = {
+        "benchmark": "perf_sim_kernel",
+        "quick": QUICK,
+        "n_events": N_EVENTS,
+        "stress_duration_s": STRESS_DURATION / SECOND,
+        "trace_pipeline": {
+            mode: {
+                "wall_s": round(r["wall_s"], 3),
+                "events_per_s": round(r["events_per_s"]),
+                "peak_mib": round(r["peak_bytes"] / 2**20, 2),
+            }
+            for mode, r in pipeline.items()
+        },
+        "scheduler_stress": {
+            mode: {
+                "wall_s": round(r["wall_s"], 3),
+                "events": r["events"],
+                "events_per_s": round(r["events_per_s"]),
+            }
+            for mode, r in stress.items()
+        },
+        "streaming_vs_legacy_pipeline_speedup": round(pipe_speedup, 2),
+        "streaming_vs_legacy_peak_memory_ratio": round(mem_ratio, 1),
+        "streaming_vs_legacy_stress_speedup": round(stress_speedup, 2),
+        "bit_identical": True,
+        "pre_pr_reference": PRE_PR_REFERENCE,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+    lines = [
+        "Perf — trace pipeline and sim-kernel fast paths",
+        "",
+        f"trace pipeline ({N_EVENTS:,} events -> TLP):",
+    ]
+    for mode, r in pipeline.items():
+        lines.append(
+            f"  {mode:9s}: {r['wall_s']:6.3f} s wall  "
+            f"{r['events_per_s']:>9,.0f} ev/s  "
+            f"peak {r['peak_bytes'] / 2**20:7.2f} MiB")
+    lines += [
+        f"  streaming vs legacy: {pipe_speedup:.2f}x events/s, "
+        f"{mem_ratio:.0f}x less peak memory",
+        "",
+        f"scheduler stress ({STRESS_THREADS} threads, "
+        f"{STRESS_DURATION // SECOND}s simulated):",
+    ]
+    for mode, r in stress.items():
+        lines.append(
+            f"  {mode:9s}: {r['wall_s']:6.3f} s wall  "
+            f"{r['events_per_s']:>9,.0f} ev/s  ({r['events']:,} events)")
+    lines += [
+        f"  streaming vs legacy: {stress_speedup:.2f}x end-to-end",
+        "results   : TLP bit-identical across all modes (asserted)",
+        f"pre-PR    : {PRE_PR_REFERENCE['trace_pipeline_events_per_s']:,} "
+        f"pipeline ev/s at {PRE_PR_REFERENCE['commit']} "
+        "(measured via worktree on this container)",
+    ]
+    report("perf_sim_kernel", "\n".join(lines))
+
+    if not QUICK:
+        assert pipe_speedup >= 1.5, (
+            f"expected >= 1.5x trace-pipeline throughput streaming vs "
+            f"legacy, got {pipe_speedup:.2f}x")
+        assert mem_ratio >= 10, (
+            f"expected >= 10x peak-memory reduction, got {mem_ratio:.1f}x")

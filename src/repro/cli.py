@@ -110,7 +110,8 @@ def cmd_run(args, out):
                      iterations=args.iterations,
                      driver_mode=driver,
                      jobs=args.jobs,
-                     cache=_cache_from_args(args))
+                     cache=_cache_from_args(args),
+                     streaming=args.streaming)
     out(f"{result.display_name} on {machine.cpu.name} "
         f"({machine.logical_cpus} LCPUs, SMT "
         f"{'on' if machine.smt_enabled else 'off'}, {machine.gpu.name})")
@@ -139,7 +140,8 @@ def cmd_suite(args, out):
                       duration_us=int(args.duration * SECOND),
                       iterations=args.iterations,
                       jobs=args.jobs,
-                      cache=_cache_from_args(args))
+                      cache=_cache_from_args(args),
+                      streaming=args.streaming)
     out(render_table2(suite))
     if args.json:
         from repro.harness.persistence import save_suite
@@ -200,6 +202,13 @@ def build_parser():
         p.add_argument("--cache", default=None, metavar="DIR",
                        help="reuse simulation results cached under DIR "
                             "(created on first use)")
+        p.add_argument("--streaming", action="store_true",
+                       help="compute metrics in-simulation (O(1) memory, "
+                            "bit-identical results) instead of recording "
+                            "a trace")
+        p.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top 25 "
+                            "functions by cumulative time")
 
     run_parser = sub.add_parser("run", help="run one application")
     run_parser.add_argument("app", help="registry key (see `list`)")
@@ -239,7 +248,20 @@ _COMMANDS = {
 
 def main(argv=None, out=print):
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    handler = _COMMANDS[args.command]
+    if getattr(args, "profile", False):
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        status = profiler.runcall(handler, args, out)
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream) \
+            .sort_stats("cumulative").print_stats(25)
+        out(stream.getvalue().rstrip())
+        return status
+    return handler(args, out)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -86,6 +86,7 @@ class GpuEngine:
 
     def _run(self):
         env = self.device.env
+        session = self.device.session
         while True:
             while not self._high and not self._normal:
                 self._wakeup = env.event()
@@ -97,10 +98,16 @@ class GpuEngine:
             if gap:
                 yield env.timeout(gap)
             start = env.now
+            # Occupancy edges bracket packet execution for streaming
+            # consumers (guarded so untraced runs pay nothing).
+            if session.subscribers:
+                session.emit_engine_busy(packet.process_name, self.name)
             yield env.timeout(service)
             self.busy_us += service
             self.packets_executed += 1
-            self.device.session.emit_gpu_packet(
+            if session.subscribers:
+                session.emit_engine_idle(packet.process_name, self.name)
+            session.emit_gpu_packet(
                 packet.process_name, packet.pid, self.name,
                 packet.packet_type, packet.submit_time, start, env.now)
             packet.done.succeed(packet.payload)

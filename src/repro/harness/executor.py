@@ -55,6 +55,7 @@ RUN_DEFAULTS = {
     "turbo": True,
     "dispatch_policy": "spread",
     "quantum": None,
+    "streaming": False,
 }
 
 

@@ -15,6 +15,8 @@ from repro.gpu import GpuDevice
 from repro.hardware import paper_machine
 from repro.harness.executor import make_spec, resolve_executor
 from repro.metrics import (
+    FrameStats,
+    OnlineMetricsEngine,
     Summary,
     measure_gpu_utilization,
     measure_tlp,
@@ -50,6 +52,7 @@ class SingleRun:
     gpu_table: object = None
     frames: list = field(default_factory=list)
     marks: list = field(default_factory=list)
+    frame_stats: object = None  # metrics.FrameStats
 
 
 @dataclass
@@ -75,11 +78,23 @@ class AppResult:
 def run_app_once(app, machine=None, duration_us=DEFAULT_DURATION_US,
                  seed=0, driver_mode=AUTOIT, keep_trace=False,
                  gpu_method="sum", background_services=True, turbo=True,
-                 dispatch_policy="spread", quantum=None):
-    """Run one traced iteration of ``app`` and measure it."""
+                 dispatch_policy="spread", quantum=None, streaming=False):
+    """Run one traced iteration of ``app`` and measure it.
+
+    ``streaming=True`` computes TLP / GPU utilization / frame stats
+    with the in-simulation :class:`OnlineMetricsEngine` instead of
+    recording a trace and post-processing it — bit-identical results
+    in O(1) memory.  Incompatible with ``keep_trace`` (there is no
+    trace to keep); per-record artifacts (``frames``, ``marks``,
+    tables) are empty in this mode.
+    """
+    if streaming and keep_trace:
+        raise ValueError("streaming=True does not retain a trace; "
+                         "drop keep_trace")
     machine = machine or paper_machine()
     env = Environment()
-    session = TraceSession(env, machine_name=machine.cpu.name)
+    session = TraceSession(env, machine_name=machine.cpu.name,
+                           retain_records=not streaming)
     kernel = Kernel(env, machine, session=session, seed=seed, turbo=turbo,
                     dispatch_policy=dispatch_policy, quantum=quantum)
     if background_services:
@@ -87,18 +102,36 @@ def run_app_once(app, machine=None, duration_us=DEFAULT_DURATION_US,
     gpu = GpuDevice(env, machine.gpu, session)
     driver = InputDriver(kernel, mode=driver_mode, seed=seed + 7)
     runtime = AppRuntime(kernel, gpu, driver, duration_us, seed=seed)
+    processes = runtime.process_names
+    engine = None
+    if streaming:
+        # The live process-name set stands in for post-hoc filtering:
+        # names are registered at spawn, before any thread runs.
+        engine = OnlineMetricsEngine(session, machine.logical_cpus,
+                                     processes=processes)
 
     session.start()
     app.build(runtime)
     env.run(until=runtime.end_time)
     trace = session.stop()
 
-    cpu_table = CpuUsagePreciseTable.from_trace(trace)
-    gpu_table = GpuUtilizationTable.from_trace(trace)
-    processes = runtime.process_names
-    tlp = measure_tlp(cpu_table, machine.logical_cpus, processes=processes)
-    gpu_util = measure_gpu_utilization(gpu_table, processes=processes,
-                                       method=gpu_method)
+    if streaming:
+        tlp = engine.tlp_result()
+        gpu_util = engine.gpu_result(method=gpu_method)
+        frame_stats = engine.frame_stats()
+        cpu_table = gpu_table = None
+        frames = []
+        marks = []
+    else:
+        cpu_table = CpuUsagePreciseTable.from_trace(trace)
+        gpu_table = GpuUtilizationTable.from_trace(trace)
+        tlp = measure_tlp(cpu_table, machine.logical_cpus,
+                          processes=processes)
+        gpu_util = measure_gpu_utilization(gpu_table, processes=processes,
+                                           method=gpu_method)
+        frames = [f for f in trace.frames if f.process in processes]
+        marks = [m for m in trace.marks if m.process in processes]
+        frame_stats = FrameStats.from_records(frames)
     memory = _aggregate_counters(kernel.memory_model, processes)
     energy = kernel.energy_model.report(duration_us, gpu_device=gpu,
                                         processes=processes)
@@ -115,8 +148,9 @@ def run_app_once(app, machine=None, duration_us=DEFAULT_DURATION_US,
         trace=trace if keep_trace else None,
         cpu_table=cpu_table if keep_trace else None,
         gpu_table=gpu_table if keep_trace else None,
-        frames=[f for f in trace.frames if f.process in processes],
-        marks=[m for m in trace.marks if m.process in processes],
+        frames=frames,
+        marks=marks,
+        frame_stats=frame_stats,
     )
 
 
@@ -140,7 +174,8 @@ def _aggregate_counters(memory_model, processes):
 def iteration_specs(app, machine=None, duration_us=DEFAULT_DURATION_US,
                     iterations=DEFAULT_ITERATIONS, base_seed=100,
                     driver_mode=AUTOIT, keep_trace=False, gpu_method="sum",
-                    turbo=True, dispatch_policy="spread", quantum=None):
+                    turbo=True, dispatch_policy="spread", quantum=None,
+                    streaming=False):
     """The N seed-derived grid points of one ``run_app`` measurement."""
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
@@ -149,7 +184,7 @@ def iteration_specs(app, machine=None, duration_us=DEFAULT_DURATION_US,
                   seed=base_seed + 17 * k, driver_mode=driver_mode,
                   keep_trace=keep_trace, gpu_method=gpu_method,
                   turbo=turbo, dispatch_policy=dispatch_policy,
-                  quantum=quantum)
+                  quantum=quantum, streaming=streaming)
         for k in range(iterations)
     ]
 
@@ -179,7 +214,7 @@ def run_app(app, machine=None, duration_us=DEFAULT_DURATION_US,
             iterations=DEFAULT_ITERATIONS, base_seed=100,
             driver_mode=AUTOIT, keep_trace=False, gpu_method="sum",
             turbo=True, dispatch_policy="spread", quantum=None,
-            jobs=None, executor=None, cache=None):
+            jobs=None, executor=None, cache=None, streaming=False):
     """Run ``iterations`` seeded repetitions and summarize them.
 
     ``jobs`` selects the execution backend (``None``/1 serial, 0 an
@@ -192,6 +227,7 @@ def run_app(app, machine=None, duration_us=DEFAULT_DURATION_US,
         iterations=iterations, base_seed=base_seed,
         driver_mode=driver_mode, keep_trace=keep_trace,
         gpu_method=gpu_method, turbo=turbo,
-        dispatch_policy=dispatch_policy, quantum=quantum)
+        dispatch_policy=dispatch_policy, quantum=quantum,
+        streaming=streaming)
     runs = resolve_executor(jobs=jobs, executor=executor, cache=cache).map(specs)
     return summarize_runs(app, runs)

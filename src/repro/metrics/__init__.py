@@ -1,6 +1,11 @@
 """Measurement metrics: TLP (Eq. 1), GPU utilization, time series."""
 
-from repro.metrics.gpu import GpuUtilResult, cross_validate, measure_gpu_utilization
+from repro.metrics.gpu import (
+    GpuUtilResult,
+    cross_validate,
+    gpu_result_from_totals,
+    measure_gpu_utilization,
+)
 from repro.metrics.intervals import (
     FusedSweep,
     clip,
@@ -10,6 +15,7 @@ from repro.metrics.intervals import (
     max_concurrency,
     union_length,
 )
+from repro.metrics.online import FrameStats, OnlineMetricsEngine, OnlineSweep
 from repro.metrics.responsiveness import (
     ResponseLatency,
     pair_marks,
@@ -29,11 +35,15 @@ from repro.metrics.tlp import (
     busy_intervals_by_cpu,
     measure_tlp,
     tlp_from_fractions,
+    tlp_result_from_profile,
 )
 
 __all__ = [
+    "FrameStats",
     "FusedSweep",
     "GpuUtilResult",
+    "OnlineMetricsEngine",
+    "OnlineSweep",
     "ResponseLatency",
     "Summary",
     "TimeSeries",
@@ -44,6 +54,7 @@ __all__ = [
     "cross_validate",
     "frame_rate_series",
     "fused_sweep",
+    "gpu_result_from_totals",
     "instantaneous_gpu_utilization",
     "interval_events",
     "instantaneous_tlp",
@@ -58,5 +69,6 @@ __all__ = [
     "summarize",
     "tail_latency",
     "tlp_from_fractions",
+    "tlp_result_from_profile",
     "union_length",
 ]

@@ -32,6 +32,33 @@ class GpuUtilResult:
     window_us: int
 
 
+def gpu_result_from_totals(busy_sum, union_length, peak, total, method):
+    """Build a :class:`GpuUtilResult` from integer totals.
+
+    Shared by :func:`measure_gpu_utilization` and the streaming
+    :class:`~repro.metrics.online.OnlineMetricsEngine`, so both paths
+    compute the percentage (and the PhoenixMiner cap) identically.
+    """
+    if method not in ("sum", "union"):
+        raise ValueError(f"unknown method {method!r}")
+    if total <= 0:
+        raise ValueError("empty measurement window")
+    if method == "union":
+        value, capped = 100.0 * union_length / total, False
+    else:
+        value = 100.0 * busy_sum / total
+        capped = value > 100.0
+        if capped:
+            value = 100.0
+    return GpuUtilResult(
+        utilization_pct=value,
+        method=method,
+        max_concurrent_packets=peak,
+        capped=capped,
+        window_us=total,
+    )
+
+
 def measure_gpu_utilization(gpu_table, processes=None, window=None,
                             method="sum"):
     """Compute utilization from a GPU Utilization (FM) table."""
@@ -52,23 +79,10 @@ def measure_gpu_utilization(gpu_table, processes=None, window=None,
                        in gpu_table.packet_intervals(processes=processes))
         events = interval_events(spans)
     sweep = fused_sweep((), start, stop, events=events)
-    peak = sweep.max_concurrency
-    if method == "union":
-        value, capped = 100.0 * sweep.union_length / total, False
-    else:
-        busy = sum(min(e, stop) - max(s, start) for s, e in spans
-                   if min(e, stop) > max(s, start))
-        value = 100.0 * busy / total
-        capped = value > 100.0
-        if capped:
-            value = 100.0
-    return GpuUtilResult(
-        utilization_pct=value,
-        method=method,
-        max_concurrent_packets=peak,
-        capped=capped,
-        window_us=total,
-    )
+    busy = sum(min(e, stop) - max(s, start) for s, e in spans
+               if min(e, stop) > max(s, start))
+    return gpu_result_from_totals(busy, sweep.union_length,
+                                  sweep.max_concurrency, total, method)
 
 
 def cross_validate(gpu_table, device, processes=None, tolerance_pct=1.0):

@@ -69,6 +69,33 @@ def busy_intervals_by_cpu(cpu_table, processes=None):
     return list(cpu_table.busy_intervals(processes=processes))
 
 
+def tlp_result_from_profile(profile, peak, n_logical, total):
+    """Build a :class:`TlpResult` from a concurrency profile.
+
+    Shared by the post-hoc path (:func:`measure_tlp`, over a fused
+    sweep of the WPA table) and the streaming path
+    (:class:`~repro.metrics.online.OnlineMetricsEngine`), so both
+    produce bit-identical fractions from the same integer profile.
+    """
+    if n_logical < 1:
+        raise ValueError("n_logical must be >= 1")
+    if total <= 0:
+        raise ValueError("empty measurement window")
+    fractions = [profile.get(level, 0) / total for level in range(n_logical + 1)]
+    overflow = sum(length for level, length in profile.items()
+                   if level > n_logical)
+    if overflow:
+        # Defensive: more overlapping intervals than logical CPUs would
+        # mean a malformed trace; fold the excess into the top level.
+        fractions[n_logical] += overflow / total
+    return TlpResult(
+        tlp=tlp_from_fractions(fractions),
+        fractions=fractions,
+        max_instantaneous=min(peak, n_logical),
+        window_us=total,
+    )
+
+
 def measure_tlp(cpu_table, n_logical, processes=None, window=None):
     """Compute :class:`TlpResult` from a CPU Usage (Precise) table.
 
@@ -90,18 +117,5 @@ def measure_tlp(cpu_table, n_logical, processes=None, window=None):
             [(s, e) for _cpu, s, e
              in cpu_table.busy_intervals(processes=processes)])
     sweep = fused_sweep((), start, stop, events=events)
-    profile = sweep.profile
-    total = stop - start
-    fractions = [profile.get(level, 0) / total for level in range(n_logical + 1)]
-    overflow = sum(length for level, length in profile.items()
-                   if level > n_logical)
-    if overflow:
-        # Defensive: more overlapping intervals than logical CPUs would
-        # mean a malformed trace; fold the excess into the top level.
-        fractions[n_logical] += overflow / total
-    return TlpResult(
-        tlp=tlp_from_fractions(fractions),
-        fractions=fractions,
-        max_instantaneous=min(sweep.max_concurrency, n_logical),
-        window_us=total,
-    )
+    return tlp_result_from_profile(sweep.profile, sweep.max_concurrency,
+                                   n_logical, stop - start)

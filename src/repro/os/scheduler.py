@@ -107,6 +107,16 @@ class Scheduler:
                                      default=-1) + 1)
         self._busy_cores = 0
         self._n_cores = len({l.core for l in self.lcpus})
+        #: Bit i set == lcpu i is idle.  Together with the per-core bit
+        #: masks this makes dispatch an O(1) bit scan instead of a walk
+        #: over every logical CPU per scheduling decision.
+        self._idle_mask = (1 << len(self.lcpus)) - 1
+        self._core_lcpu_mask = [0] * len(self._core_busy)
+        for lcpu in self.lcpus:
+            self._core_lcpu_mask[lcpu.core] |= 1 << lcpu.index
+        #: Union of the lcpu bits of fully-idle physical cores — the
+        #: candidate set of the "spread" policy.
+        self._free_core_lcpu_mask = self._idle_mask
         self._ready = deque()
         #: Total nominal work retired, per process name (for throughput
         #: metrics like transcode rate sanity checks).
@@ -125,14 +135,24 @@ class Scheduler:
         self._core_busy[core] += 1
         if self._core_busy[core] == 1:
             self._busy_cores += 1
+            self._free_core_lcpu_mask &= ~self._core_lcpu_mask[core]
+        self._idle_mask &= ~(1 << lcpu.index)
+        # Occupancy edge for streaming consumers; the guard keeps the
+        # non-streaming hot path free of the fan-out call.
+        if self.session.subscribers:
+            self.session.emit_cpu_busy(thread.process.name, lcpu.index)
 
     def _vacate(self, lcpu):
+        if self.session.subscribers:
+            self.session.emit_cpu_idle(lcpu.thread.process.name, lcpu.index)
         lcpu.thread = None
         lcpu.work_class = None
         core = lcpu.core
         self._core_busy[core] -= 1
         if self._core_busy[core] == 0:
             self._busy_cores -= 1
+            self._free_core_lcpu_mask |= self._core_lcpu_mask[core]
+        self._idle_mask |= 1 << lcpu.index
 
     # -- state inspection ----------------------------------------------
 
@@ -181,28 +201,32 @@ class Scheduler:
         choices (Windows' "ideal processor" heuristic: warm caches),
         but cache warmth never outranks an idle physical core under
         the spread policy.
+
+        The linear walk over ``self.lcpus`` is replaced by bit scans of
+        the incrementally-maintained idle masks: ``mask & -mask``
+        isolates the lowest set bit, which is exactly the first idle
+        lcpu in enumeration order — the same choice the walk made.
         """
-        last = getattr(thread, "last_cpu", None)
+        idle = self._idle_mask
+        if not idle:
+            return None
         warm = None
-        core_busy = self._core_busy
-        if last is not None and last < len(self.lcpus):
-            candidate = self.lcpus[last]
-            if candidate.thread is None:
+        if thread is not None:
+            last = getattr(thread, "last_cpu", None)
+            if last is not None and last < len(self.lcpus) and (idle >> last) & 1:
+                candidate = self.lcpus[last]
                 if (self.dispatch_policy == "fill"
-                        or core_busy[candidate.core] == 0):
+                        or self._core_busy[candidate.core] == 0):
                     return candidate
                 warm = candidate
-        fallback = warm
-        for lcpu in self.lcpus:
-            if lcpu.thread is not None:
-                continue
-            if self.dispatch_policy == "fill":
-                return lcpu
-            if core_busy[lcpu.core] == 0:
-                return lcpu
-            if fallback is None:
-                fallback = lcpu
-        return fallback
+        if self.dispatch_policy == "fill":
+            return self.lcpus[(idle & -idle).bit_length() - 1]
+        free = idle & self._free_core_lcpu_mask
+        if free:
+            return self.lcpus[(free & -free).bit_length() - 1]
+        if warm is not None:
+            return warm
+        return self.lcpus[(idle & -idle).bit_length() - 1]
 
     def _dispatch(self):
         while self._ready:

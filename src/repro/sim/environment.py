@@ -5,7 +5,9 @@ integers keeps event ordering exact and runs deterministic — two runs
 with the same seed produce bit-identical traces.
 """
 
+import sys
 from heapq import heappop, heappush
+from sys import getrefcount
 
 from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
 from repro.sim.exceptions import SimulationError, StopSimulation
@@ -15,6 +17,11 @@ NORMAL = 1
 #: Priority used for urgent deliveries such as interrupts.
 URGENT = 0
 
+#: Upper bound on recycled Timeout objects kept per environment.  The
+#: refcount-based recycling below is only meaningful on CPython;
+#: elsewhere the pool stays empty and every timeout is freshly built.
+_TIMEOUT_POOL_CAP = 1024 if sys.implementation.name == "cpython" else 0
+
 
 class Environment:
     """Owns the simulation clock and executes events in time order."""
@@ -23,6 +30,7 @@ class Environment:
         self._now = int(initial_time)
         self._queue = []
         self._eid = 0
+        self._timeout_pool = []
         #: The process currently being resumed (None between steps).
         self.active_process = None
 
@@ -39,7 +47,24 @@ class Environment:
         heappush(self._queue, (self._now + int(delay), priority, self._eid, event))
 
     def timeout(self, delay, value=None):
-        """Return an event firing after ``delay`` microseconds."""
+        """Return an event firing after ``delay`` microseconds.
+
+        Timeouts dominate event allocation (every burst, wait and
+        service interval is one), so fired timeouts proven unreachable
+        by the caller (refcount check in :meth:`step`) are recycled
+        from a free list instead of being rebuilt from scratch.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            event = pool.pop()
+            event.callbacks = []
+            event._ok = True
+            event._value = value
+            event.delay = delay
+            self.schedule(event, delay=delay)
+            return event
         return Timeout(self, delay, value)
 
     def event(self):
@@ -76,6 +101,14 @@ class Environment:
             callback(event)
         if not event._ok and not getattr(event, "defused", False):
             raise event._value
+        # Recycle the timeout if nothing else references it: exactly
+        # two refs means only the local `event` and the getrefcount
+        # argument — no process, queue entry or caller can observe the
+        # object being reused.
+        if (type(event) is Timeout
+                and len(self._timeout_pool) < _TIMEOUT_POOL_CAP
+                and getrefcount(event) == 2):
+            self._timeout_pool.append(event)
 
     def run(self, until=None):
         """Run until the queue drains, ``until`` µs, or an event fires.

@@ -23,7 +23,15 @@ class Event:
     *triggered* (scheduled to fire, value decided) and *processed*
     (callbacks have run).  Waiting processes register callbacks; when
     the event is processed each callback receives the event.
+
+    Events are the most-allocated objects in a run, so the whole
+    hierarchy uses ``__slots__``.  ``defused`` is a slot rather than an
+    ad-hoc attribute: it is set lazily (only on events whose failure is
+    handled) and read with ``getattr(..., "defused", False)``, which
+    still works for unset slots.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env):
         self.env = env
@@ -85,7 +93,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after ``delay`` time units."""
+    """An event that fires automatically after ``delay`` time units.
+
+    Fired timeouts with no remaining references are recycled through
+    :attr:`Environment._timeout_pool` — see ``Environment.timeout``.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env, delay, value=None):
         if delay < 0:
@@ -102,6 +116,8 @@ class AnyOf(Event):
 
     The value is a dict mapping each already-fired event to its value.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self, env, events):
         super().__init__(env)
@@ -131,6 +147,8 @@ class AllOf(Event):
 
     The value is a dict mapping every event to its value.
     """
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, env, events):
         super().__init__(env)
@@ -162,6 +180,8 @@ class Process(Event):
     return value) when the generator finishes, so processes can wait
     for each other simply by yielding the :class:`Process` object.
     """
+
+    __slots__ = ("generator", "name", "target")
 
     def __init__(self, env, generator, name=None):
         if not hasattr(generator, "send"):

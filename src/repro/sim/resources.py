@@ -76,8 +76,7 @@ class Store:
     def put(self, item):
         """Return an event that fires once ``item`` is stored."""
         event = Event(self.env)
-        event.item = item
-        self._putters.append(event)
+        self._putters.append((event, item))
         self._dispatch()
         return event
 
@@ -94,8 +93,8 @@ class Store:
             progressed = False
             while self._putters and (
                     self.capacity is None or len(self.items) < self.capacity):
-                putter = self._putters.popleft()
-                self.items.append(putter.item)
+                putter, item = self._putters.popleft()
+                self.items.append(item)
                 putter.succeed()
                 progressed = True
             while self._getters and self.items:

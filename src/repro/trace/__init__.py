@@ -18,6 +18,13 @@ from repro.trace.analysis import (
     threads_by_time,
     timeline_by_process,
 )
+from repro.trace.columns import (
+    CswitchColumns,
+    FrameColumns,
+    GpuPacketColumns,
+    MarkColumns,
+    NameTable,
+)
 from repro.trace.etl import EtlTrace
 from repro.trace.records import (
     ContextSwitchRecord,
@@ -47,7 +54,12 @@ __all__ = [
     "CPU_USAGE_PRECISE",
     "ContextSwitchRecord",
     "CpuUsagePreciseTable",
+    "CswitchColumns",
     "EtlTrace",
+    "FrameColumns",
+    "GpuPacketColumns",
+    "MarkColumns",
+    "NameTable",
     "FRAME_PRESENTS",
     "FramePresentRecord",
     "GPU_UTILIZATION_FM",

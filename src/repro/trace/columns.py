@@ -1,0 +1,238 @@
+"""Columnar trace buffers — flat arrays instead of per-record objects.
+
+The hot loops of a run emit one trace event per scheduling interval /
+GPU packet / frame.  Buffering each as a frozen dataclass costs an
+object allocation plus ``__post_init__`` validation per event and keeps
+hundreds of bytes alive per record.  These column stores keep the same
+information as parallel ``array('q')`` columns plus interned name
+tables: an append is a handful of integer pushes, and a million
+context-switch records retain ~48 MB of dataclasses but only ~8 bytes
+per column here.
+
+Emitters (scheduler, GPU engines) construct records whose time columns
+are consistent by construction, so appends skip the dataclass
+validation; :meth:`records` materializes real dataclass instances —
+re-running that validation — for the existing ``EtlTrace`` record-list
+API, and :meth:`rows` yields the plain tuples the WPA tables consume
+without building dataclasses at all.
+"""
+
+from array import array
+
+from repro.trace.records import (
+    ContextSwitchRecord,
+    FramePresentRecord,
+    GpuPacketRecord,
+    MarkRecord,
+)
+
+
+class NameTable:
+    """String interning: stable small integer ids for repeated names."""
+
+    __slots__ = ("names", "_ids")
+
+    def __init__(self):
+        self.names = []
+        self._ids = {}
+
+    def intern(self, name):
+        """Return the id of ``name``, assigning one on first sight."""
+        table = self._ids
+        index = table.get(name)
+        if index is None:
+            index = len(self.names)
+            table[name] = index
+            self.names.append(name)
+        return index
+
+    def __len__(self):
+        return len(self.names)
+
+
+class _ColumnStore:
+    """Shared sizing/accounting helpers of the four stores."""
+
+    __slots__ = ()
+
+    def __len__(self):
+        raise NotImplementedError
+
+    def __bool__(self):
+        return len(self) > 0
+
+    def nbytes(self):
+        """Approximate retained bytes of the column buffers."""
+        total = 0
+        for name in self.__slots__:
+            column = getattr(self, name)
+            if isinstance(column, array):
+                total += column.buffer_info()[1] * column.itemsize
+            elif isinstance(column, NameTable):
+                total += sum(len(n) for n in column.names)
+        return total
+
+
+class CswitchColumns(_ColumnStore):
+    """CPU Usage (Precise) rows as columns."""
+
+    __slots__ = ("process_names", "thread_names", "_process", "_pid",
+                 "_tid", "_thread", "_cpu", "_ready", "_in", "_out")
+
+    def __init__(self):
+        self.process_names = NameTable()
+        self.thread_names = NameTable()
+        self._process = array("q")
+        self._pid = array("q")
+        self._tid = array("q")
+        self._thread = array("q")
+        self._cpu = array("q")
+        self._ready = array("q")
+        self._in = array("q")
+        self._out = array("q")
+
+    def append(self, process, pid, tid, thread_name, cpu,
+               ready_time, switch_in_time, switch_out_time):
+        self._process.append(self.process_names.intern(process))
+        self._pid.append(pid)
+        self._tid.append(tid)
+        self._thread.append(self.thread_names.intern(thread_name))
+        self._cpu.append(cpu)
+        self._ready.append(ready_time)
+        self._in.append(switch_in_time)
+        self._out.append(switch_out_time)
+
+    def __len__(self):
+        return len(self._pid)
+
+    def used_processes(self):
+        return set(self.process_names.names)
+
+    def rows(self):
+        """WPA-table tuples, no dataclass materialization."""
+        processes = self.process_names.names
+        threads = self.thread_names.names
+        return [(processes[p], pid, tid, threads[t], cpu, r, i, o)
+                for p, pid, tid, t, cpu, r, i, o
+                in zip(self._process, self._pid, self._tid, self._thread,
+                       self._cpu, self._ready, self._in, self._out)]
+
+    def records(self):
+        return [ContextSwitchRecord(*row) for row in self.rows()]
+
+
+class GpuPacketColumns(_ColumnStore):
+    """GPU Utilization (FM) rows as columns."""
+
+    __slots__ = ("process_names", "engine_names", "packet_types",
+                 "_process", "_pid", "_engine", "_type", "_submit",
+                 "_start", "_finished")
+
+    def __init__(self):
+        self.process_names = NameTable()
+        self.engine_names = NameTable()
+        self.packet_types = NameTable()
+        self._process = array("q")
+        self._pid = array("q")
+        self._engine = array("q")
+        self._type = array("q")
+        self._submit = array("q")
+        self._start = array("q")
+        self._finished = array("q")
+
+    def append(self, process, pid, engine, packet_type,
+               submit_time, start_execution, finished):
+        self._process.append(self.process_names.intern(process))
+        self._pid.append(pid)
+        self._engine.append(self.engine_names.intern(engine))
+        self._type.append(self.packet_types.intern(packet_type))
+        self._submit.append(submit_time)
+        self._start.append(start_execution)
+        self._finished.append(finished)
+
+    def __len__(self):
+        return len(self._pid)
+
+    def used_processes(self):
+        return set(self.process_names.names)
+
+    def rows(self):
+        processes = self.process_names.names
+        engines = self.engine_names.names
+        types = self.packet_types.names
+        return [(processes[p], pid, engines[e], types[t], sub, start, fin)
+                for p, pid, e, t, sub, start, fin
+                in zip(self._process, self._pid, self._engine, self._type,
+                       self._submit, self._start, self._finished)]
+
+    def records(self):
+        return [GpuPacketRecord(*row) for row in self.rows()]
+
+
+class FrameColumns(_ColumnStore):
+    """Frame-present records as columns."""
+
+    __slots__ = ("process_names", "_process", "_pid", "_present",
+                 "_target_fps", "_reprojected")
+
+    def __init__(self):
+        self.process_names = NameTable()
+        self._process = array("q")
+        self._pid = array("q")
+        self._present = array("q")
+        self._target_fps = array("q")
+        self._reprojected = array("b")
+
+    def append(self, process, pid, present_time, target_fps, reprojected):
+        self._process.append(self.process_names.intern(process))
+        self._pid.append(pid)
+        self._present.append(present_time)
+        self._target_fps.append(target_fps)
+        self._reprojected.append(1 if reprojected else 0)
+
+    def __len__(self):
+        return len(self._pid)
+
+    def used_processes(self):
+        return set(self.process_names.names)
+
+    def records(self):
+        processes = self.process_names.names
+        return [FramePresentRecord(processes[p], pid, present, fps, bool(re))
+                for p, pid, present, fps, re
+                in zip(self._process, self._pid, self._present,
+                       self._target_fps, self._reprojected)]
+
+
+class MarkColumns(_ColumnStore):
+    """Application mark records as columns."""
+
+    __slots__ = ("process_names", "labels", "_process", "_pid", "_time",
+                 "_label")
+
+    def __init__(self):
+        self.process_names = NameTable()
+        self.labels = NameTable()
+        self._process = array("q")
+        self._pid = array("q")
+        self._time = array("q")
+        self._label = array("q")
+
+    def append(self, process, pid, time, label):
+        self._process.append(self.process_names.intern(process))
+        self._pid.append(pid)
+        self._time.append(time)
+        self._label.append(self.labels.intern(label))
+
+    def __len__(self):
+        return len(self._pid)
+
+    def used_processes(self):
+        return set(self.process_names.names)
+
+    def records(self):
+        processes = self.process_names.names
+        labels = self.labels.names
+        return [MarkRecord(processes[p], pid, time, labels[lab])
+                for p, pid, time, lab
+                in zip(self._process, self._pid, self._time, self._label)]

@@ -3,6 +3,13 @@
 A finished trace holds every record emitted between ``start_time`` and
 ``stop_time`` and can be saved to / loaded from a JSON-lines file, the
 role the binary ``.etl`` files play in the paper's workflow.
+
+Each record group may be backed either by a plain list of dataclass
+records (the historical form, still used by tests and ``load``) or by
+a columnar store from :mod:`repro.trace.columns`.  Columnar groups are
+materialized into dataclass lists lazily on first attribute access;
+the WPA extraction path never materializes at all — it reads the raw
+tuples via :meth:`cswitch_rows` / :meth:`gpu_rows`.
 """
 
 import json
@@ -33,12 +40,40 @@ class EtlTrace:
             raise ValueError("stop_time before start_time")
         self.start_time = start_time
         self.stop_time = stop_time
-        self.cswitches = list(cswitches)
-        self.gpu_packets = list(gpu_packets)
-        self.frames = list(frames)
-        self.marks = list(marks)
+        self._sources = {
+            "cswitches": cswitches,
+            "gpu_packets": gpu_packets,
+            "frames": frames,
+            "marks": marks,
+        }
+        self._materialized = {}
         self.machine_name = machine_name
         self._processes = None
+
+    def _group(self, name):
+        records = self._materialized.get(name)
+        if records is None:
+            source = self._sources[name]
+            records = (source.records() if hasattr(source, "records")
+                       else list(source))
+            self._materialized[name] = records
+        return records
+
+    @property
+    def cswitches(self):
+        return self._group("cswitches")
+
+    @property
+    def gpu_packets(self):
+        return self._group("gpu_packets")
+
+    @property
+    def frames(self):
+        return self._group("frames")
+
+    @property
+    def marks(self):
+        return self._group("marks")
 
     @property
     def duration(self):
@@ -50,16 +85,48 @@ class EtlTrace:
         """Sorted names of every process appearing in the trace.
 
         Memoized on first access (metric and report code reads this
-        repeatedly).  Code that mutates the record lists in place —
-        against the immutable-by-convention contract — must reset
-        ``_processes`` to ``None``; ``filter_processes`` returns a
-        fresh trace, so the convention holds there.
+        repeatedly); columnar groups answer from their interned name
+        tables without materializing records.  Code that mutates the
+        record lists in place — against the immutable-by-convention
+        contract — must reset ``_processes`` to ``None``;
+        ``filter_processes`` returns a fresh trace, so the convention
+        holds there.
         """
         if self._processes is None:
-            names = {r.process for r in self.cswitches}
-            names.update(r.process for r in self.gpu_packets)
+            names = set()
+            for group in ("cswitches", "gpu_packets"):
+                records = self._materialized.get(group)
+                if records is not None:
+                    names.update(r.process for r in records)
+                    continue
+                source = self._sources[group]
+                if hasattr(source, "used_processes"):
+                    names.update(source.used_processes())
+                else:
+                    names.update(r.process for r in source)
             self._processes = tuple(sorted(names))
         return list(self._processes)
+
+    def cswitch_rows(self):
+        """CPU Usage (Precise) tuples ``(process, pid, tid, thread_name,
+        cpu, ready, switch_in, switch_out)`` — columnar fast path avoids
+        dataclass materialization."""
+        source = self._sources["cswitches"]
+        if "cswitches" not in self._materialized and hasattr(source, "rows"):
+            return source.rows()
+        return [(r.process, r.pid, r.tid, r.thread_name, r.cpu,
+                 r.ready_time, r.switch_in_time, r.switch_out_time)
+                for r in self.cswitches]
+
+    def gpu_rows(self):
+        """GPU Utilization (FM) tuples ``(process, pid, engine,
+        packet_type, submit, start_execution, finished)``."""
+        source = self._sources["gpu_packets"]
+        if "gpu_packets" not in self._materialized and hasattr(source, "rows"):
+            return source.rows()
+        return [(r.process, r.pid, r.engine, r.packet_type,
+                 r.submit_time, r.start_execution, r.finished)
+                for r in self.gpu_packets]
 
     def filter_processes(self, predicate):
         """A new trace keeping only records whose process satisfies

@@ -13,7 +13,7 @@ All times are integer microseconds on the simulation clock.
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContextSwitchRecord:
     """One scheduling interval of a thread on a logical CPU."""
 
@@ -43,7 +43,7 @@ class ContextSwitchRecord:
         return self.switch_in_time - self.ready_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GpuPacketRecord:
     """One GPU work packet executed on an engine.
 
@@ -77,7 +77,7 @@ class GpuPacketRecord:
         return self.start_execution - self.submit_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FramePresentRecord:
     """A frame presented to the display / VR compositor."""
 
@@ -88,7 +88,7 @@ class FramePresentRecord:
     reprojected: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MarkRecord:
     """An application-defined annotation (phase begin/end, input event)."""
 

@@ -43,12 +43,18 @@ class CpuUsagePreciseTable:
 
     @classmethod
     def from_trace(cls, trace):
-        """Extract the table from an :class:`~repro.trace.etl.EtlTrace`."""
-        rows = sorted(
-            ((r.process, r.pid, r.tid, r.thread_name, r.cpu,
-              r.ready_time, r.switch_in_time, r.switch_out_time)
-             for r in trace.cswitches),
-            key=lambda row: (row[6], row[4]))
+        """Extract the table from an :class:`~repro.trace.etl.EtlTrace`.
+
+        Uses the trace's tuple fast path (``cswitch_rows``), which for
+        columnar traces skips dataclass materialization entirely.
+        """
+        if hasattr(trace, "cswitch_rows"):
+            raw = trace.cswitch_rows()
+        else:
+            raw = [(r.process, r.pid, r.tid, r.thread_name, r.cpu,
+                    r.ready_time, r.switch_in_time, r.switch_out_time)
+                   for r in trace.cswitches]
+        rows = sorted(raw, key=lambda row: (row[6], row[4]))
         return cls(rows, trace.start_time, trace.stop_time)
 
     def busy_intervals(self, processes=None):
@@ -107,11 +113,13 @@ class GpuUtilizationTable:
 
     @classmethod
     def from_trace(cls, trace):
-        rows = sorted(
-            ((r.process, r.pid, r.engine, r.packet_type,
-              r.submit_time, r.start_execution, r.finished)
-             for r in trace.gpu_packets),
-            key=lambda row: (row[5], row[2]))
+        if hasattr(trace, "gpu_rows"):
+            raw = trace.gpu_rows()
+        else:
+            raw = [(r.process, r.pid, r.engine, r.packet_type,
+                    r.submit_time, r.start_execution, r.finished)
+                   for r in trace.gpu_packets]
+        rows = sorted(raw, key=lambda row: (row[5], row[2]))
         return cls(rows, trace.start_time, trace.stop_time)
 
     def packet_intervals(self, processes=None):
