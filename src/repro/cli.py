@@ -18,6 +18,13 @@ Commands
 ``compare BEFORE.json AFTER.json``
     Longitudinal comparison of two stored suite results (the 18-year
     -perspective workflow, continued).
+``validate``
+    Trace-invariant and golden-fingerprint regression check: replay the
+    golden grid (4/8/12 logical CPUs with SMT, 4/6 without), validate
+    every trace against the invariant catalogue and diff metric
+    fingerprints against ``tests/golden/golden_traces.json``
+    (``--update-golden`` re-records them; ``--streaming`` cross-checks
+    the in-simulation metrics engine against the same goldens).
 """
 
 import argparse
@@ -111,7 +118,8 @@ def cmd_run(args, out):
                      driver_mode=driver,
                      jobs=args.jobs,
                      cache=_cache_from_args(args),
-                     streaming=args.streaming)
+                     streaming=args.streaming,
+                     validate=args.validate)
     out(f"{result.display_name} on {machine.cpu.name} "
         f"({machine.logical_cpus} LCPUs, SMT "
         f"{'on' if machine.smt_enabled else 'off'}, {machine.gpu.name})")
@@ -141,7 +149,8 @@ def cmd_suite(args, out):
                       iterations=args.iterations,
                       jobs=args.jobs,
                       cache=_cache_from_args(args),
-                      streaming=args.streaming)
+                      streaming=args.streaming,
+                      validate=args.validate)
     out(render_table2(suite))
     if args.json:
         from repro.harness.persistence import save_suite
@@ -155,6 +164,105 @@ def cmd_suite(args, out):
 
         suite_to_csv(suite, args.csv)
         out(f"saved CSV results to {args.csv}")
+    return 0
+
+
+def cmd_validate(args, out):
+    from repro.harness.executor import resolve_executor
+    from repro.validate import (
+        GOLDEN_CONFIGS,
+        TraceValidator,
+        compare_fingerprints,
+        config_id,
+        fingerprint_run,
+        golden_machine,
+        golden_spec,
+        load_goldens,
+        save_goldens,
+    )
+
+    if _check_exec_args(args, out):
+        return 2
+    names = SUITE if not args.apps else tuple(args.apps.split(","))
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        out(f"error: unknown applications: {', '.join(unknown)}")
+        return 2
+
+    goldens = None
+    if not args.update_golden:
+        try:
+            goldens = load_goldens(args.golden)
+        except FileNotFoundError:
+            out("warning: no golden file found "
+                "(run `repro validate --update-golden` to record one); "
+                "checking invariants only")
+
+    grid = [(name, cores, smt)
+            for name in names for cores, smt in GOLDEN_CONFIGS]
+    specs = [golden_spec(name, cores, smt) for name, cores, smt in grid]
+    for spec in specs:
+        spec.kwargs["keep_trace"] = True  # invariants need the trace
+    runs = resolve_executor(jobs=args.jobs).map(specs)
+
+    failures = 0
+    fingerprints = {}
+    for (name, cores, smt), run in zip(grid, runs):
+        cid = config_id(cores, smt)
+        report = TraceValidator(
+            golden_machine(cores, smt).logical_cpus).validate(run.trace)
+        problems = [str(v) for v in report.violations]
+        fingerprint = fingerprint_run(run)
+        fingerprints.setdefault(name, {})[cid] = fingerprint
+        if goldens is not None:
+            expected = goldens.get(name, {}).get(cid)
+            if expected is None:
+                problems.append("no committed golden fingerprint")
+            else:
+                problems += compare_fingerprints(expected, fingerprint)
+        if problems:
+            failures += 1
+            out(f"FAIL {name} [{cid}]")
+            for problem in problems:
+                out(f"  {problem}")
+
+    if args.streaming:
+        streaming_specs = [golden_spec(name, cores, smt, streaming=True)
+                           for name, cores, smt in grid]
+        for spec in streaming_specs:
+            spec.kwargs["validate"] = True  # online edge-stream checks
+        for (name, cores, smt), run in zip(
+                grid, resolve_executor(jobs=args.jobs).map(streaming_specs)):
+            cid = config_id(cores, smt)
+            mismatches = compare_fingerprints(
+                fingerprints[name][cid], fingerprint_run(run))
+            if mismatches:
+                failures += 1
+                out(f"FAIL {name} [{cid}] streaming != post-hoc")
+                for mismatch in mismatches:
+                    out(f"  {mismatch}")
+
+    checked = len(grid) * (2 if args.streaming else 1)
+    if args.update_golden:
+        try:
+            merged = load_goldens(args.golden)
+        except FileNotFoundError:
+            merged = {}
+        if failures:
+            out(f"error: refusing to record goldens with {failures} "
+                f"invariant failure(s)")
+            return 1
+        merged.update(fingerprints)
+        path = save_goldens(merged, args.golden)
+        out(f"recorded {len(grid)} golden fingerprints "
+            f"({len(names)} apps) to {path}")
+        return 0
+    if failures:
+        out(f"validate: {failures} of {checked} checks FAILED")
+        return 1
+    out(f"validate: {checked} checks ok "
+        f"({len(names)} apps x {len(GOLDEN_CONFIGS)} configs"
+        f"{', streaming cross-checked' if args.streaming else ''})")
     return 0
 
 
@@ -206,6 +314,10 @@ def build_parser():
                        help="compute metrics in-simulation (O(1) memory, "
                             "bit-identical results) instead of recording "
                             "a trace")
+        p.add_argument("--validate", action="store_true",
+                       help="check every run against the trace-invariant "
+                            "catalogue (fails loudly on an inconsistent "
+                            "trace)")
         p.add_argument("--profile", action="store_true",
                        help="run under cProfile and print the top 25 "
                             "functions by cumulative time")
@@ -234,6 +346,26 @@ def build_parser():
         "compare", help="compare two stored suite JSON files")
     compare_parser.add_argument("before", help="baseline suite JSON")
     compare_parser.add_argument("after", help="new suite JSON")
+
+    validate_parser = sub.add_parser(
+        "validate",
+        help="trace-invariant + golden-fingerprint regression check")
+    validate_parser.add_argument(
+        "--apps", default=None,
+        help="comma-separated registry keys (default: all 30)")
+    validate_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel simulation processes (default: serial)")
+    validate_parser.add_argument(
+        "--golden", default=None, metavar="PATH",
+        help="golden file (default: tests/golden/golden_traces.json)")
+    validate_parser.add_argument(
+        "--update-golden", action="store_true",
+        help="re-record golden fingerprints for the selected apps")
+    validate_parser.add_argument(
+        "--streaming", action="store_true",
+        help="also run the streaming metrics engine over the grid and "
+             "cross-check it against the same fingerprints")
     return parser
 
 
@@ -243,6 +375,7 @@ _COMMANDS = {
     "run": cmd_run,
     "suite": cmd_suite,
     "compare": cmd_compare,
+    "validate": cmd_validate,
 }
 
 

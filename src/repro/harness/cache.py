@@ -82,13 +82,19 @@ def _canonical_app(app, config):
             _canonical(vars(app))]
 
 
+#: Run knobs that do not affect simulation results and therefore must
+#: not split the key space (``validate`` only *observes* a run).
+_NON_PHYSICAL_KNOBS = frozenset({"validate"})
+
+
 def spec_key(spec, code_version=None):
     """Canonical SHA-256 hex key of a :class:`RunSpec`, or ``None``."""
     try:
         payload = {
             "code": code_version or repro.__version__,
             "app": _canonical_app(spec.app, spec.config),
-            "kwargs": _canonical(spec.kwargs),
+            "kwargs": _canonical({k: v for k, v in spec.kwargs.items()
+                                  if k not in _NON_PHYSICAL_KNOBS}),
         }
     except UncacheableSpec:
         return None
@@ -136,6 +142,13 @@ class ResultCache:
             return None
         self.hits += 1
         return (result,)
+
+    def invalidate(self, key):
+        """Drop the entry for ``key`` (reuse-time validation failed)."""
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
 
     def store(self, key, result):
         """Atomically persist ``result`` under ``key``.

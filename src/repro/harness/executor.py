@@ -56,6 +56,7 @@ RUN_DEFAULTS = {
     "dispatch_policy": "spread",
     "quantum": None,
     "streaming": False,
+    "validate": False,
 }
 
 
@@ -123,12 +124,15 @@ class _CachingExecutor:
     """Shared map-with-cache logic of both backends.
 
     ``executed`` counts simulations actually run (cache hits excluded)
-    — the warm-cache acceptance check reads it.
+    — the warm-cache acceptance check reads it.  ``rejected`` counts
+    cached entries that failed the reuse-time plausibility validation
+    and were recomputed instead.
     """
 
     def __init__(self, cache=None):
         self.cache = cache
         self.executed = 0
+        self.rejected = 0
 
     def map(self, specs):
         """Run every spec; returns results in submission order."""
@@ -142,8 +146,14 @@ class _CachingExecutor:
                 if keys[i] is not None:
                     hit = self.cache.load(keys[i])
                     if hit is not None:
-                        results[i] = hit[0]
-                        continue
+                        if _cached_result_ok(hit[0], spec):
+                            results[i] = hit[0]
+                            continue
+                        # A corrupt or implausible entry (truncated
+                        # pickle survives unpickling, stale physics,
+                        # foreign payload): drop it and recompute.
+                        self.rejected += 1
+                        self.cache.invalidate(keys[i])
             pending.append(i)
         self._execute(specs, pending, results)
         if self.cache is not None:
@@ -154,6 +164,21 @@ class _CachingExecutor:
 
     def _execute(self, specs, pending, results):
         raise NotImplementedError
+
+
+def _cached_result_ok(run, spec):
+    """Validate a cached result before reuse (cheap plausibility pass).
+
+    Cached entries skip the simulator entirely, so a bad entry would
+    feed every downstream table silently; this applies the
+    :func:`repro.validate.invariants.check_single_run` invariants
+    against the spec's machine before trusting it.
+    """
+    from repro.validate.invariants import check_single_run
+
+    machine = spec.kwargs.get("machine")
+    n_logical = machine.logical_cpus if machine is not None else None
+    return not check_single_run(run, n_logical=n_logical)
 
 
 class SerialExecutor(_CachingExecutor):

@@ -78,7 +78,8 @@ class AppResult:
 def run_app_once(app, machine=None, duration_us=DEFAULT_DURATION_US,
                  seed=0, driver_mode=AUTOIT, keep_trace=False,
                  gpu_method="sum", background_services=True, turbo=True,
-                 dispatch_policy="spread", quantum=None, streaming=False):
+                 dispatch_policy="spread", quantum=None, streaming=False,
+                 validate=False):
     """Run one traced iteration of ``app`` and measure it.
 
     ``streaming=True`` computes TLP / GPU utilization / frame stats
@@ -87,6 +88,13 @@ def run_app_once(app, machine=None, duration_us=DEFAULT_DURATION_US,
     in O(1) memory.  Incompatible with ``keep_trace`` (there is no
     trace to keep); per-record artifacts (``frames``, ``marks``,
     tables) are empty in this mode.
+
+    ``validate=True`` checks the run against the trace-invariant
+    catalogue (:mod:`repro.validate`): the live occupancy-edge stream
+    is validated online in every mode, and the recorded trace is
+    additionally validated post-hoc when one exists.  Violations raise
+    :class:`~repro.validate.invariants.TraceValidationError`; the
+    checks only observe, so results stay bit-identical.
     """
     if streaming and keep_trace:
         raise ValueError("streaming=True does not retain a trace; "
@@ -104,6 +112,11 @@ def run_app_once(app, machine=None, duration_us=DEFAULT_DURATION_US,
     runtime = AppRuntime(kernel, gpu, driver, duration_us, seed=seed)
     processes = runtime.process_names
     engine = None
+    online_validator = None
+    if validate:
+        from repro.validate import OnlineValidator
+
+        online_validator = OnlineValidator(session, machine.logical_cpus)
     if streaming:
         # The live process-name set stands in for post-hoc filtering:
         # names are registered at spawn, before any thread runs.
@@ -114,6 +127,14 @@ def run_app_once(app, machine=None, duration_us=DEFAULT_DURATION_US,
     app.build(runtime)
     env.run(until=runtime.end_time)
     trace = session.stop()
+
+    if validate:
+        from repro.validate import TraceValidator
+
+        online_validator.raise_if_failed()
+        if not streaming:
+            TraceValidator(machine.logical_cpus).validate(
+                trace).raise_if_failed()
 
     if streaming:
         tlp = engine.tlp_result()
@@ -175,7 +196,7 @@ def iteration_specs(app, machine=None, duration_us=DEFAULT_DURATION_US,
                     iterations=DEFAULT_ITERATIONS, base_seed=100,
                     driver_mode=AUTOIT, keep_trace=False, gpu_method="sum",
                     turbo=True, dispatch_policy="spread", quantum=None,
-                    streaming=False):
+                    streaming=False, validate=False):
     """The N seed-derived grid points of one ``run_app`` measurement."""
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
@@ -184,7 +205,7 @@ def iteration_specs(app, machine=None, duration_us=DEFAULT_DURATION_US,
                   seed=base_seed + 17 * k, driver_mode=driver_mode,
                   keep_trace=keep_trace, gpu_method=gpu_method,
                   turbo=turbo, dispatch_policy=dispatch_policy,
-                  quantum=quantum, streaming=streaming)
+                  quantum=quantum, streaming=streaming, validate=validate)
         for k in range(iterations)
     ]
 
@@ -214,13 +235,16 @@ def run_app(app, machine=None, duration_us=DEFAULT_DURATION_US,
             iterations=DEFAULT_ITERATIONS, base_seed=100,
             driver_mode=AUTOIT, keep_trace=False, gpu_method="sum",
             turbo=True, dispatch_policy="spread", quantum=None,
-            jobs=None, executor=None, cache=None, streaming=False):
+            jobs=None, executor=None, cache=None, streaming=False,
+            validate=False):
     """Run ``iterations`` seeded repetitions and summarize them.
 
     ``jobs`` selects the execution backend (``None``/1 serial, 0 an
     auto-sized process pool, N a pool of N workers); alternatively
     pass a prebuilt ``executor``.  ``cache`` is an optional
     :class:`~repro.harness.cache.ResultCache` consulted per iteration.
+    ``validate=True`` runs every iteration under the trace-invariant
+    checker (see :func:`run_app_once`).
     """
     specs = iteration_specs(
         app, machine=machine, duration_us=duration_us,
@@ -228,6 +252,6 @@ def run_app(app, machine=None, duration_us=DEFAULT_DURATION_US,
         driver_mode=driver_mode, keep_trace=keep_trace,
         gpu_method=gpu_method, turbo=turbo,
         dispatch_policy=dispatch_policy, quantum=quantum,
-        streaming=streaming)
+        streaming=streaming, validate=validate)
     runs = resolve_executor(jobs=jobs, executor=executor, cache=cache).map(specs)
     return summarize_runs(app, runs)

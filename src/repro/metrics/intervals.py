@@ -58,9 +58,19 @@ def fused_sweep(intervals, window_start, window_stop, *, events=None):
 
     Pass pre-sorted ``events`` (from :func:`interval_events`) to skip
     the per-call extract-and-sort; ``intervals`` is ignored then.
+
+    Edge cases are well-defined rather than accidental: a zero-width
+    window yields ``FusedSweep({0: 0}, 0, 0)`` (no measure, no peak),
+    zero-width intervals contribute nothing, and an inverted window
+    raises ``ValueError``.  Callers that need a *non-empty* window
+    (Eq.-1 TLP divides by it) raise the documented ``ValueError:
+    empty measurement window`` themselves — see
+    :func:`repro.metrics.tlp.measure_tlp`.
     """
     if window_stop < window_start:
         raise ValueError("window_stop before window_start")
+    if window_stop == window_start:
+        return FusedSweep({0: 0}, 0, 0)
     if events is None:
         events = interval_events(intervals)
     total = window_stop - window_start
@@ -101,10 +111,13 @@ def union_length(intervals, window_start, window_stop, *, events=None):
     """Length of the union of intervals within the window.
 
     Single pass: accumulates covered time on every ``1 -> 0`` level
-    transition instead of materializing the full profile dict.
+    transition instead of materializing the full profile dict.  A
+    zero-width window covers nothing and returns 0.
     """
     if window_stop < window_start:
         raise ValueError("window_stop before window_start")
+    if window_stop == window_start:
+        return 0
     if events is None:
         events = interval_events(intervals)
     level = 0
@@ -132,10 +145,13 @@ def max_concurrency(intervals, window_start, window_stop, *, events=None):
     Single pass: tracks the running level, counting a level only once
     it has persisted for a positive span inside the window (zero-width
     boundary spikes from out-of-window intervals are ignored, matching
-    the clip-first definition).
+    the clip-first definition).  A zero-width window has no positive
+    span, so its peak is 0.
     """
     if window_stop < window_start:
         raise ValueError("window_stop before window_start")
+    if window_stop == window_start:
+        return 0
     if events is None:
         events = interval_events(intervals)
     level = 0

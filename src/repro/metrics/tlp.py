@@ -101,6 +101,11 @@ def measure_tlp(cpu_table, n_logical, processes=None, window=None):
 
     ``n_logical`` is the number of logical CPUs in the machine (sizes
     the c_i vector).  ``window`` defaults to the whole trace.
+
+    Raises ``ValueError("empty measurement window")`` for a zero-width
+    or inverted window (including the whole-trace window of a trace
+    whose session stopped the instant it started): Eq. 1 divides by
+    the window length, so there is no well-defined TLP to return.
     """
     if n_logical < 1:
         raise ValueError("n_logical must be >= 1")

@@ -1,0 +1,100 @@
+"""Golden-trace regression suite.
+
+Every registered app is fingerprinted on the golden machine grid
+(4/8/12 logical CPUs with SMT, 4/6 with SMT off) and the result is
+diffed against the committed goldens in ``tests/golden/``.  Equality
+is bit-identity: fingerprints hash ``float.hex`` serializations, so a
+single ULP of drift anywhere in the scheduler -> trace -> metrics
+pipeline fails the suite.
+
+The serial backend covers the full 150-point grid; the process-pool
+and streaming backends are cross-checked on a subset — the point is
+backend *equivalence*, which a few apps establish as well as thirty.
+"""
+
+import pytest
+
+from repro.apps import SUITE
+from repro.harness.executor import ParallelExecutor
+from repro.validate import (
+    GOLDEN_CONFIGS,
+    compare_fingerprints,
+    compute_fingerprints,
+    config_id,
+    fingerprint_run,
+    golden_machine,
+    load_goldens,
+)
+
+#: Apps re-run under the alternative backends.  A GPU-heavy VR title,
+#: a browser, and an office app cover the distinct trace shapes.
+CROSS_CHECK_APPS = ("word", "chrome", "arizona-sunshine")
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return load_goldens()
+
+
+@pytest.fixture(scope="module")
+def serial_fingerprints():
+    """One serial pass over the full grid, shared by every test."""
+    return compute_fingerprints(sorted(SUITE))
+
+
+def test_golden_file_covers_the_full_grid(goldens):
+    expected_configs = {config_id(c, s) for c, s in GOLDEN_CONFIGS}
+    assert set(goldens) == set(SUITE)
+    for app, per_config in goldens.items():
+        assert set(per_config) == expected_configs, app
+
+
+@pytest.mark.parametrize("app", sorted(SUITE))
+def test_serial_backend_matches_goldens(app, goldens, serial_fingerprints):
+    for cores, smt in GOLDEN_CONFIGS:
+        cid = config_id(cores, smt)
+        mismatches = compare_fingerprints(
+            goldens[app][cid], serial_fingerprints[app][cid])
+        assert not mismatches, f"{app}/{cid}: {mismatches}"
+
+
+def test_process_pool_backend_matches_goldens(goldens):
+    fingerprints = compute_fingerprints(
+        CROSS_CHECK_APPS, executor=ParallelExecutor(jobs=2))
+    for app in CROSS_CHECK_APPS:
+        for cores, smt in GOLDEN_CONFIGS:
+            cid = config_id(cores, smt)
+            mismatches = compare_fingerprints(
+                goldens[app][cid], fingerprints[app][cid])
+            assert not mismatches, f"{app}/{cid}: {mismatches}"
+
+
+def test_streaming_backend_matches_goldens(goldens):
+    fingerprints = compute_fingerprints(CROSS_CHECK_APPS, streaming=True)
+    for app in CROSS_CHECK_APPS:
+        for cores, smt in GOLDEN_CONFIGS:
+            cid = config_id(cores, smt)
+            mismatches = compare_fingerprints(
+                goldens[app][cid], fingerprints[app][cid])
+            assert not mismatches, f"{app}/{cid}: {mismatches}"
+
+
+def test_validated_run_is_fingerprint_neutral(goldens):
+    """``--validate`` observes; it must never perturb the metrics."""
+    from repro.harness import run_app_once
+    from repro.validate.golden import GOLDEN_DURATION_US, GOLDEN_SEED
+
+    machine = golden_machine(8, True)
+    run = run_app_once("word", machine=machine,
+                       duration_us=GOLDEN_DURATION_US, seed=GOLDEN_SEED,
+                       validate=True)
+    mismatches = compare_fingerprints(
+        goldens["word"][config_id(8, True)], fingerprint_run(run))
+    assert not mismatches, mismatches
+
+
+def test_golden_machine_grid_is_constructible():
+    for cores, smt in GOLDEN_CONFIGS:
+        machine = golden_machine(cores, smt)
+        assert machine.logical_cpus == cores
+        assert machine.smt_enabled == smt
