@@ -1,0 +1,91 @@
+"""Static concurrency analyzer (no simulation clock involved).
+
+Public API:
+
+* :func:`extract_structure` — shadow-build one app model.
+* :func:`analyze_app` — structure + lock-order + work/span + findings.
+* :func:`analyze_apps` — the full ``repro lint`` pass over many apps,
+  optionally with the AST source lint, returning a
+  :class:`~repro.analysis.static.report.StaticReport`.
+"""
+
+from repro.analysis.static.astlint import (app_source_paths, lint_file,
+                                           lint_paths)
+from repro.analysis.static.lockorder import (LockOrderGraph,
+                                             build_lock_order)
+from repro.analysis.static.report import (AppAnalysis, Finding,
+                                          StaticReport, meets_threshold)
+from repro.analysis.static.shadow import (AppStructure, extract_structure)
+from repro.analysis.static.workspan import (WorkSpanResult,
+                                            analyze_work_span, check_bound)
+from repro.hardware import paper_machine
+
+__all__ = [
+    "AppAnalysis", "AppStructure", "Finding", "LockOrderGraph",
+    "StaticReport", "WorkSpanResult", "analyze_app", "analyze_apps",
+    "analyze_work_span", "app_source_paths", "build_lock_order",
+    "check_bound", "extract_structure", "lint_file", "lint_paths",
+    "meets_threshold",
+]
+
+
+def analyze_app(app, machine=None, duration_us=None, seed=0):
+    """Run the full static pass for one app model.
+
+    ``app`` is an :class:`~repro.apps.base.AppModel` instance or a
+    registry key.  Returns an :class:`AppAnalysis`.
+    """
+    structure = extract_structure(app, machine=machine,
+                                  duration_us=duration_us, seed=seed)
+    findings = []
+    if structure.build_error:
+        findings.append(Finding(
+            severity="error", code="build-error", app=structure.app_name,
+            message=f"app build failed under shadow harness: "
+                    f"{structure.build_error}"))
+    for thread in structure.threads:
+        if thread.error:
+            findings.append(Finding(
+                severity="warning", code="thread-body-error",
+                app=structure.app_name, location=thread.spawn_site,
+                message=(f"thread {thread.name!r} crashed under the "
+                         f"shadow driver: {thread.error}")))
+        elif thread.truncated:
+            findings.append(Finding(
+                severity="info", code="path-truncated",
+                app=structure.app_name, location=thread.spawn_site,
+                message=(f"thread {thread.name!r} exploration truncated "
+                         f"after {thread.steps} steps; work/span totals "
+                         "are partial")))
+    graph, lock_findings = build_lock_order(structure)
+    findings.extend(lock_findings)
+    work_span = analyze_work_span(structure)
+    analysis = AppAnalysis(app_name=structure.app_name,
+                           structure=structure, work_span=work_span,
+                           findings=findings)
+    analysis.lock_order = graph
+    return analysis
+
+
+def analyze_apps(app_names, machine=None, duration_us=None, seed=0,
+                 ast_paths=None):
+    """Static pass over many apps; the core of ``repro lint``.
+
+    ``ast_paths`` is a list of files/directories for the source lint
+    (pass ``None`` to skip it, or ``app_source_paths()`` for the
+    shipped models).
+    """
+    machine = machine or paper_machine()
+    report = StaticReport(
+        machine_name=machine.cpu.name,
+        logical_cpus=machine.logical_cpus,
+        duration_us=0,
+        seed=seed)
+    for name in app_names:
+        analysis = analyze_app(name, machine=machine,
+                               duration_us=duration_us, seed=seed)
+        report.apps[analysis.app_name] = analysis
+        report.duration_us = analysis.structure.duration_us
+    if ast_paths:
+        report.ast_findings = lint_paths(ast_paths)
+    return report

@@ -1,0 +1,255 @@
+"""AST lint pass over application-model sources.
+
+Complements the shadow build with purely syntactic checks on
+``src/repro/apps/*.py`` (or any path handed to :func:`lint_paths`):
+
+* ``blocking-call-outside-yield`` (error) — a bare statement calling
+  ``ctx.wait`` / ``ctx.sleep`` / ``ctx.cpu``.  These construct request
+  objects; dropping one on the floor silently skips the block/compute
+  the author intended (``ctx.sleep(MS)`` vs ``yield ctx.sleep(MS)``).
+* ``discarded-acquire`` (warning) — a bare ``<x>.acquire()``
+  statement.  The returned event must be yielded (or stored) or the
+  acquisition is never waited on.
+* ``lock-never-released`` (warning) — a variable statically bound to
+  a ``Lock(...)`` constructor has ``.acquire`` calls in the module
+  but no ``.release`` anywhere.  Restricted to locks: semaphores are
+  routinely released by another module (producer/consumer gates).
+* ``unseeded-rng`` (warning) — module-level ``random`` use
+  (``random.random()``, ``random.randint(...)`` or an argument-less
+  ``random.Random()``) and ``from random import ...`` of RNG
+  functions: deterministic replay needs every stream seeded from the
+  run seed.
+* ``wall-clock`` (error) — ``time.time`` / ``perf_counter`` /
+  ``time.sleep`` / ``datetime.now`` etc. in sim code: real time must
+  never leak into simulated time.
+
+Import aliases are tracked (``import random as rnd``), so renamed
+modules are still caught.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.static.report import Finding
+
+#: ctx methods that hand back request objects which must be yielded.
+_CTX_REQUESTS = ("wait", "sleep", "cpu")
+
+_RNG_MODULE_CALLS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "betavariate", "expovariate",
+    "normalvariate", "triangular", "getrandbits", "seed",
+}
+
+_WALL_CLOCK = {
+    "time": {"time", "time_ns", "perf_counter", "perf_counter_ns",
+             "monotonic", "monotonic_ns", "sleep", "process_time"},
+    "datetime": {"now", "utcnow", "today"},
+}
+
+
+def _call_root(node):
+    """Dotted name parts of a call target, e.g. ``a.b.c`` -> [a, b, c]."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class _ModuleLinter(ast.NodeVisitor):
+    def __init__(self, path, display):
+        self.path = path
+        self.display = display
+        self.findings = []
+        #: local alias -> canonical module name ("random", "time", ...)
+        self.module_aliases = {}
+        #: names imported from random via ``from random import ...``
+        self.from_random = {}
+        #: names imported from time/datetime
+        self.from_wall = {}
+        #: local alias for the Lock class (from ``from ... import Lock``)
+        self.lock_classes = {"Lock"}
+        #: variable name -> assignment lineno for Lock(...) bindings
+        self.lock_vars = {}
+        self.acquires = {}   # var name -> [lineno]
+        self.releases = set()
+
+    def _loc(self, node):
+        return f"{self.display}:{node.lineno}"
+
+    def _add(self, severity, code, node, message):
+        self.findings.append(Finding(
+            severity=severity, code=code, message=message,
+            location=self._loc(node)))
+
+    # -- imports ---------------------------------------------------------
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in ("random", "time", "datetime"):
+                self.module_aliases[alias.asname or root] = root
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if node.module == "random":
+            for alias in node.names:
+                self.from_random[alias.asname or alias.name] = alias.name
+        elif node.module in ("time", "datetime"):
+            for alias in node.names:
+                self.from_wall[alias.asname or alias.name] = (
+                    node.module, alias.name)
+        elif node.module and node.names:
+            for alias in node.names:
+                if alias.name == "Lock":
+                    self.lock_classes.add(alias.asname or "Lock")
+        self.generic_visit(node)
+
+    # -- lock bindings ---------------------------------------------------
+
+    def visit_Assign(self, node):
+        value = node.value
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in self.lock_classes):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.lock_vars[target.id] = node.lineno
+        self.generic_visit(node)
+
+    # -- statements whose value is discarded -----------------------------
+
+    def visit_Expr(self, node):
+        call = node.value
+        if isinstance(call, ast.Call):
+            parts = _call_root(call.func)
+            if parts and len(parts) == 2 and parts[0] == "ctx" \
+                    and parts[1] in _CTX_REQUESTS:
+                self._add(
+                    "error", "blocking-call-outside-yield", node,
+                    f"bare 'ctx.{parts[1]}(...)' statement: the request "
+                    "object is discarded; write "
+                    f"'yield ctx.{parts[1]}(...)'")
+            elif (isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "acquire"):
+                self._add(
+                    "warning", "discarded-acquire", node,
+                    "'.acquire()' result discarded: yield the returned "
+                    "event (or store it) or the acquisition is never "
+                    "waited on")
+        self.generic_visit(node)
+
+    # -- calls: RNG, wall clock, acquire/release pairing -----------------
+
+    def visit_Call(self, node):
+        parts = _call_root(node.func)
+        if parts:
+            self._check_modules(node, parts)
+            self._check_lock_pairing(node, parts)
+        name = parts[0] if parts and len(parts) == 1 else None
+        if name in self.from_random and self._is_rng_use(
+                self.from_random[name], node):
+            self._add(
+                "warning", "unseeded-rng", node,
+                f"'{name}' imported from random: seed every stream from "
+                "the run seed (e.g. rt.fork_rng()) for deterministic "
+                "replay")
+        if name in self.from_wall:
+            module, attr = self.from_wall[name]
+            if attr in _WALL_CLOCK.get(module, ()):
+                self._add(
+                    "error", "wall-clock", node,
+                    f"'{module}.{attr}' in sim code: real time must not "
+                    "leak into simulated time; use the kernel clock")
+        self.generic_visit(node)
+
+    def _is_rng_use(self, canonical, node):
+        if canonical == "Random":
+            return not node.args and not node.keywords  # unseeded ctor
+        return canonical in _RNG_MODULE_CALLS
+
+    def _check_modules(self, node, parts):
+        if len(parts) != 2:
+            return
+        module = self.module_aliases.get(parts[0])
+        if module == "random":
+            if parts[1] == "Random":
+                if not node.args and not node.keywords:
+                    self._add(
+                        "warning", "unseeded-rng", node,
+                        "argument-less 'random.Random()': pass a seed "
+                        "derived from the run seed for deterministic "
+                        "replay")
+            elif parts[1] in _RNG_MODULE_CALLS:
+                self._add(
+                    "warning", "unseeded-rng", node,
+                    f"'random.{parts[1]}' uses the process-global RNG; "
+                    "use a seeded random.Random stream instead")
+        elif module in ("time", "datetime") \
+                and parts[1] in _WALL_CLOCK[module]:
+            self._add(
+                "error", "wall-clock", node,
+                f"'{module}.{parts[1]}' in sim code: real time must not "
+                "leak into simulated time; use the kernel clock")
+
+    def _check_lock_pairing(self, node, parts):
+        if len(parts) != 2 or parts[0] not in self.lock_vars:
+            return
+        if parts[1] == "acquire":
+            self.acquires.setdefault(parts[0], []).append(node.lineno)
+        elif parts[1] == "release":
+            self.releases.add(parts[0])
+
+    def finish(self):
+        for var, linenos in sorted(self.acquires.items()):
+            if var not in self.releases:
+                self.findings.append(Finding(
+                    severity="warning", code="lock-never-released",
+                    location=f"{self.display}:{linenos[0]}",
+                    message=(f"lock variable {var!r} is acquired but "
+                             "never released anywhere in this module")))
+        return self.findings
+
+
+def lint_file(path, display=None):
+    """Lint one source file; returns a list of :class:`Finding`."""
+    path = Path(path)
+    display = display or path.name
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(severity="error", code="syntax-error",
+                        location=f"{display}:{exc.lineno or 0}",
+                        message=str(exc))]
+    linter = _ModuleLinter(path, display)
+    linter.visit(tree)
+    return linter.finish()
+
+
+def lint_paths(paths):
+    """Lint files/directories (directories expand to ``**/*.py``)."""
+    findings = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files = sorted(path.rglob("*.py"))
+        else:
+            files = [path]
+        root = path if path.is_dir() else path.parent
+        for file in files:
+            try:
+                display = str(file.relative_to(root.parent))
+            except ValueError:
+                display = file.name
+            findings.extend(lint_file(file, display=display))
+    return findings
+
+
+def app_source_paths():
+    """The shipped application-model sources."""
+    return [Path(__file__).resolve().parents[2] / "apps"]

@@ -1,0 +1,142 @@
+"""Lock-order graph construction and potential-deadlock detection.
+
+From each thread's recorded sync-operation sequence (program order,
+as driven by the shadow harness) we reconstruct which locks the
+thread *held* while acquiring others.  Every ``held -> acquired``
+pair becomes an edge in the app's lock-order graph; a cycle in that
+graph is the classic necessary condition for an ABBA deadlock, and is
+reported naming the locks, the threads and the acquisition sites.
+
+Two more lock-discipline checks ride on the same per-thread replay:
+
+* ``lock-relock`` — a thread acquires a lock it already holds.  The
+  simulated :class:`~repro.os.sync.Lock` is non-reentrant and FIFO,
+  so this self-deadlocks unconditionally.
+* ``acquire-without-release`` — a thread path *completed* while still
+  holding locks (truncated/errored paths are skipped: the remainder
+  of the body may well release).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.static.report import Finding
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """Directed lock-order edge: ``held`` was held while taking ``acquired``."""
+
+    held: str
+    acquired: str
+    thread: str
+    site: str = None
+
+
+@dataclass
+class LockOrderGraph:
+    """Per-app lock-order graph over lock names."""
+
+    app_name: str
+    locks: list = field(default_factory=list)
+    edges: list = field(default_factory=list)        # LockEdge
+    cycles: list = field(default_factory=list)       # list of lock-name lists
+
+    @property
+    def edge_pairs(self):
+        return {(edge.held, edge.acquired) for edge in self.edges}
+
+
+def _replay_thread(thread, on_edge, findings, app_name):
+    """Walk one thread's ops, tracking held locks in program order."""
+    held = []  # acquisition-ordered lock names
+    for op in thread.ops:
+        if op.sync.kind != "lock":
+            continue
+        name = op.sync.name
+        if op.op == "acquire":
+            if name in held:
+                findings.append(Finding(
+                    severity="error", code="lock-relock", app=app_name,
+                    location=op.site,
+                    message=(f"thread {thread.name!r} acquires "
+                             f"non-reentrant lock {name!r} while "
+                             "already holding it (self-deadlock)")))
+                continue
+            for held_name in held:
+                on_edge(LockEdge(held=held_name, acquired=name,
+                                 thread=thread.name, site=op.site))
+            held.append(name)
+        elif op.op == "release" and name in held:
+            held.remove(name)
+    if held and thread.completed:
+        findings.append(Finding(
+            severity="warning", code="acquire-without-release",
+            app=app_name, location=thread.spawn_site,
+            message=(f"thread {thread.name!r} terminated still holding "
+                     f"{', '.join(repr(n) for n in held)}")))
+
+
+def _find_cycles(nodes, edges):
+    """Elementary cycles via DFS over the edge-pair graph.
+
+    Returns each cycle once, as a list of lock names rotated so the
+    lexicographically smallest name leads (deterministic output).
+    """
+    adjacency = {node: set() for node in nodes}
+    for held, acquired in edges:
+        adjacency.setdefault(held, set()).add(acquired)
+        adjacency.setdefault(acquired, set())
+    cycles = set()
+
+    def visit(node, path, on_path):
+        for succ in sorted(adjacency[node]):
+            if succ in on_path:
+                cycle = path[path.index(succ):]
+                pivot = cycle.index(min(cycle))
+                cycles.add(tuple(cycle[pivot:] + cycle[:pivot]))
+            else:
+                on_path.add(succ)
+                visit(succ, path + [succ], on_path)
+                on_path.remove(succ)
+
+    for start in sorted(adjacency):
+        visit(start, [start], {start})
+    return [list(cycle) for cycle in sorted(cycles)]
+
+
+def build_lock_order(structure):
+    """Build the :class:`LockOrderGraph` for one extracted app structure.
+
+    Returns ``(graph, findings)``.
+    """
+    graph = LockOrderGraph(
+        app_name=structure.app_name,
+        locks=[s.name for s in structure.sync if s.kind == "lock"])
+    findings = []
+    seen = set()
+
+    def on_edge(edge):
+        key = (edge.held, edge.acquired, edge.thread)
+        if key not in seen:
+            seen.add(key)
+            graph.edges.append(edge)
+
+    for thread in structure.threads:
+        _replay_thread(thread, on_edge, findings, structure.app_name)
+
+    graph.cycles = _find_cycles(graph.locks, graph.edge_pairs)
+    for cycle in graph.cycles:
+        ordered = " -> ".join(cycle + [cycle[0]])
+        involved = sorted({edge.thread for edge in graph.edges
+                           if edge.held in cycle and edge.acquired in cycle})
+        sites = sorted({edge.site for edge in graph.edges
+                        if edge.site and edge.held in cycle
+                        and edge.acquired in cycle})
+        findings.append(Finding(
+            severity="error", code="deadlock-cycle",
+            app=structure.app_name,
+            location=sites[0] if sites else None,
+            message=(f"lock-order cycle {ordered} across threads "
+                     f"{', '.join(repr(t) for t in involved)}"
+                     + (f" (sites: {', '.join(sites)})" if sites else ""))))
+    return graph, findings

@@ -1,0 +1,121 @@
+"""Findings model for the static concurrency analyzer.
+
+A :class:`Finding` is one diagnostic (a potential deadlock cycle, a
+blocking call outside ``yield``, an unseeded RNG use...), carrying a
+severity, a stable check code, the app it concerns (when app-scoped)
+and a source location.  :class:`StaticReport` aggregates the findings
+of one ``repro lint`` invocation together with the per-app structure
+summaries and work/span bounds, and renders to a JSON-able payload.
+"""
+
+from dataclasses import dataclass, field
+
+#: Severity levels, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+_SEVERITY_RANK = {level: rank for rank, level in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis diagnostic."""
+
+    severity: str        # "error" | "warning" | "info"
+    code: str            # stable check identifier, e.g. "deadlock-cycle"
+    message: str
+    app: str = None      # registry key, or None for source-level findings
+    location: str = None  # "file.py:123" when known
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self):
+        where = f" [{self.location}]" if self.location else ""
+        scope = f" ({self.app})" if self.app else ""
+        return f"{self.severity}: {self.code}{scope}{where}: {self.message}"
+
+
+def meets_threshold(finding, threshold):
+    """True when ``finding`` is at least as severe as ``threshold``."""
+    return _SEVERITY_RANK[finding.severity] <= _SEVERITY_RANK[threshold]
+
+
+@dataclass
+class AppAnalysis:
+    """Per-app result: extracted structure + work/span bound."""
+
+    app_name: str
+    structure: object            # shadow.AppStructure
+    work_span: object            # workspan.WorkSpanResult
+    findings: list = field(default_factory=list)
+
+
+@dataclass
+class StaticReport:
+    """Everything one ``repro lint`` run produced."""
+
+    machine_name: str
+    logical_cpus: int
+    duration_us: int
+    seed: int
+    apps: dict = field(default_factory=dict)      # name -> AppAnalysis
+    ast_findings: list = field(default_factory=list)
+
+    @property
+    def findings(self):
+        """All findings, app-scoped first, most severe first."""
+        collected = []
+        for analysis in self.apps.values():
+            collected.extend(analysis.findings)
+        collected.extend(self.ast_findings)
+        collected.sort(key=lambda f: (_SEVERITY_RANK[f.severity],
+                                      f.code, f.app or "", f.location or ""))
+        return collected
+
+    def counts(self):
+        """``{severity: count}`` over every finding."""
+        totals = {level: 0 for level in SEVERITIES}
+        for finding in self.findings:
+            totals[finding.severity] += 1
+        return totals
+
+    def failed(self, threshold="warning"):
+        """True when any finding is at/above ``threshold`` severity."""
+        if threshold not in SEVERITIES:
+            raise ValueError(f"unknown severity threshold {threshold!r}")
+        return any(meets_threshold(f, threshold) for f in self.findings)
+
+    def to_payload(self):
+        """JSON-able document of the whole report."""
+        return {
+            "machine": self.machine_name,
+            "logical_cpus": self.logical_cpus,
+            "duration_us": self.duration_us,
+            "seed": self.seed,
+            "counts": self.counts(),
+            "findings": [
+                {"severity": f.severity, "code": f.code, "app": f.app,
+                 "location": f.location, "message": f.message}
+                for f in self.findings
+            ],
+            "apps": {
+                name: {
+                    "processes": list(analysis.structure.processes),
+                    "threads": len(analysis.structure.threads),
+                    "dynamic_threads": sum(
+                        1 for t in analysis.structure.threads if t.dynamic),
+                    "complete": analysis.structure.complete,
+                    "locks": sum(1 for s in analysis.structure.sync
+                                 if s.kind == "lock"),
+                    "sync_primitives": len(analysis.structure.sync),
+                    "work_us": analysis.work_span.work_us,
+                    "span_us": analysis.work_span.span_us,
+                    "critical_thread": analysis.work_span.critical_thread,
+                    "parallelism": analysis.work_span.parallelism,
+                    "width": analysis.work_span.width,
+                    "tlp_bound": analysis.work_span.tlp_bound,
+                }
+                for name, analysis in sorted(self.apps.items())
+            },
+        }

@@ -1,0 +1,74 @@
+"""Work/span analysis of the extracted thread structure.
+
+Following TASKPROF's framing: *work* is the total CPU demand across
+all thread paths, *span* is the longest single path, and work/span is
+the parallelism the structure could exploit with unlimited cores.
+The shadow harness drives each thread body independently (nominal,
+uncontended request amounts), so per-thread ``cpu_us`` is each
+thread's path length and the critical path is the heaviest thread.
+
+The **enforced** static ceiling is deliberately coarser than
+work/span: Eq. 1's TLP is the concurrency-weighted average of
+simultaneously-busy cores over non-idle time, so it can never exceed
+the machine's logical CPU count nor the number of threads the app can
+ever have runnable.  ``tlp_bound = min(logical_cpus, width)`` is
+therefore sound whenever structure extraction is complete; when it is
+not (a truncated or crashed body may spawn more threads), the bound
+falls back to ``logical_cpus`` alone.  Work/span parallelism is
+reported alongside as the *informational* structural estimate.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkSpanResult:
+    """Work/span summary and the enforced static TLP ceiling."""
+
+    app_name: str
+    work_us: int            # total CPU demand over all threads
+    span_us: int            # heaviest single thread path
+    critical_thread: str    # "process/thread" on the critical path
+    parallelism: float      # work/span (informational estimate)
+    width: int              # total threads observed (incl. dynamic)
+    tlp_bound: float        # enforced ceiling: min(logical_cpus, width)
+    complete: bool          # False -> bound fell back to logical_cpus
+
+
+def analyze_work_span(structure):
+    """Compute :class:`WorkSpanResult` for one extracted structure."""
+    work = sum(t.cpu_us for t in structure.threads)
+    span = 0
+    critical = None
+    for thread in structure.threads:
+        if thread.cpu_us > span:
+            span = thread.cpu_us
+            critical = f"{thread.process}/{thread.name}"
+    parallelism = (work / span) if span else float(bool(work))
+    width = len(structure.threads)
+    if structure.complete and width > 0:
+        bound = float(min(structure.logical_cpus, width))
+    else:
+        bound = float(structure.logical_cpus)
+    return WorkSpanResult(
+        app_name=structure.app_name,
+        work_us=work,
+        span_us=span,
+        critical_thread=critical,
+        parallelism=parallelism,
+        width=width,
+        tlp_bound=bound,
+        complete=structure.complete)
+
+
+def check_bound(result, measured_tlp, machine_label=None, tolerance=1e-9):
+    """Invariant: static ceiling >= simulated Eq.-1 TLP.
+
+    Returns an error string when violated, else None.
+    """
+    if measured_tlp <= result.tlp_bound + tolerance:
+        return None
+    where = f" on {machine_label}" if machine_label else ""
+    return (f"{result.app_name}: measured TLP {measured_tlp:.4f}{where} "
+            f"exceeds static bound {result.tlp_bound:.4f} "
+            f"(width={result.width}, complete={result.complete})")

@@ -24,7 +24,14 @@ Commands
     every trace against the invariant catalogue and diff metric
     fingerprints against ``tests/golden/golden_traces.json``
     (``--update-golden`` re-records them; ``--streaming`` cross-checks
-    the in-simulation metrics engine against the same goldens).
+    the in-simulation metrics engine against the same goldens).  Each
+    run's Eq.-1 TLP is also checked against the static work/span
+    ceiling from ``repro lint`` (``--no-static`` skips this).
+``lint``
+    Static concurrency analysis without simulating: shadow-build every
+    app model, detect lock-order deadlock cycles, compute work/span
+    TLP bounds and AST-lint the app sources.  Nonzero exit when any
+    finding is at/above ``--fail-on`` (default: warning).
 """
 
 import argparse
@@ -207,6 +214,7 @@ def cmd_validate(args, out):
 
     failures = 0
     fingerprints = {}
+    static_bounds = {}
     for (name, cores, smt), run in zip(grid, runs):
         cid = config_id(cores, smt)
         report = TraceValidator(
@@ -214,6 +222,19 @@ def cmd_validate(args, out):
         problems = [str(v) for v in report.violations]
         fingerprint = fingerprint_run(run)
         fingerprints.setdefault(name, {})[cid] = fingerprint
+        if not args.no_static:
+            from repro.analysis.static import (analyze_work_span, check_bound,
+                                               extract_structure)
+
+            if (name, cid) not in static_bounds:
+                static_bounds[name, cid] = analyze_work_span(
+                    extract_structure(name,
+                                      machine=golden_machine(cores, smt)))
+            error = check_bound(static_bounds[name, cid],
+                                float.fromhex(fingerprint["tlp"]),
+                                machine_label=cid)
+            if error:
+                problems.append(f"static TLP bound violated: {error}")
         if goldens is not None:
             expected = goldens.get(name, {}).get(cid)
             if expected is None:
@@ -264,6 +285,40 @@ def cmd_validate(args, out):
         f"({len(names)} apps x {len(GOLDEN_CONFIGS)} configs"
         f"{', streaming cross-checked' if args.streaming else ''})")
     return 0
+
+
+def cmd_lint(args, out):
+    from repro.analysis.static import analyze_apps, app_source_paths
+    from repro.reporting import render_lint_findings, render_static_bounds
+
+    names = SUITE if args.all_apps or not args.apps \
+        else tuple(args.apps.split(","))
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        out(f"error: unknown applications: {', '.join(unknown)}")
+        return 2
+    if args.fail_on not in ("error", "warning", "info"):
+        out("error: --fail-on must be error, warning or info")
+        return 2
+
+    ast_paths = None
+    if not args.no_ast:
+        ast_paths = list(args.paths) if args.paths else app_source_paths()
+    report = analyze_apps(names,
+                          machine=_machine_from_args(args),
+                          duration_us=int(args.duration * SECOND),
+                          seed=args.seed,
+                          ast_paths=ast_paths)
+    out(render_static_bounds(report))
+    out("")
+    out(render_lint_findings(report))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+        out(f"saved JSON report to {args.json}")
+    return 1 if report.failed(args.fail_on) else 0
 
 
 def cmd_compare(args, out):
@@ -366,6 +421,45 @@ def build_parser():
         "--streaming", action="store_true",
         help="also run the streaming metrics engine over the grid and "
              "cross-check it against the same fingerprints")
+    validate_parser.add_argument(
+        "--no-static", action="store_true",
+        help="skip the static work/span TLP-bound cross-check")
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static concurrency analysis (no simulation): deadlock "
+             "cycles, work/span TLP bounds, source lint")
+    lint_parser.add_argument(
+        "--apps", default=None,
+        help="comma-separated registry keys")
+    lint_parser.add_argument(
+        "--all-apps", action="store_true",
+        help="analyze every registered application (the default when "
+             "--apps is not given)")
+    lint_parser.add_argument("--cores", type=int, default=None,
+                             help="active logical CPUs (default: all 12)")
+    lint_parser.add_argument("--no-smt", action="store_true",
+                             help="disable hyper-threading")
+    lint_parser.add_argument("--gpu", choices=sorted(GPUS), default=None,
+                             help="installed GPU (default: gtx-1080-ti)")
+    lint_parser.add_argument(
+        "--duration", type=float, default=1.0,
+        help="analysis window in simulated seconds (bounds loop "
+             "exploration; no simulation clock is involved)")
+    lint_parser.add_argument("--seed", type=int, default=0,
+                             help="seed handed to the shadow build")
+    lint_parser.add_argument("--json", default=None, metavar="PATH",
+                             help="also save the report as JSON")
+    lint_parser.add_argument("--no-ast", action="store_true",
+                             help="skip the AST source lint")
+    lint_parser.add_argument(
+        "--paths", nargs="*", default=None, metavar="PATH",
+        help="files/directories for the AST lint "
+             "(default: the shipped app models)")
+    lint_parser.add_argument(
+        "--fail-on", default="warning",
+        choices=("error", "warning", "info"),
+        help="minimum severity that makes the exit status nonzero")
     return parser
 
 
@@ -376,6 +470,7 @@ _COMMANDS = {
     "suite": cmd_suite,
     "compare": cmd_compare,
     "validate": cmd_validate,
+    "lint": cmd_lint,
 }
 
 

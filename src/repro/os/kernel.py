@@ -37,6 +37,9 @@ class Kernel:
                                    **scheduler_kwargs)
         self.processes = []
         self._next_pid = 4  # Windows starts user PIDs above the System PID
+        #: Inventory of sync primitives constructed against this kernel.
+        self.sync_primitives = []
+        self._sync_counts = {}
 
     @property
     def now(self):
@@ -57,6 +60,25 @@ class Kernel:
     def find_processes(self, prefix):
         """All processes whose name starts with ``prefix``."""
         return [p for p in self.processes if p.name.startswith(prefix)]
+
+    def register_sync(self, primitive, kind, name=None):
+        """Record a sync primitive; returns its (auto-assigned) name.
+
+        Auto-names are stable per kernel (``lock-1``, ``semaphore-2``,
+        ...) so diagnostics and lint findings stay deterministic.
+        """
+        index = self._sync_counts.get(kind, 0) + 1
+        self._sync_counts[kind] = index
+        self.sync_primitives.append(primitive)
+        return name if name is not None else f"{kind}-{index}"
+
+    def note_sync_op(self, primitive, op, token=None):
+        """Observation hook for sync operations.
+
+        A no-op on the real kernel; the shadow-build kernel in
+        :mod:`repro.analysis.static.shadow` overrides it to record
+        acquisition sites without simulating.
+        """
 
     def start_background_services(self, duty_cycle=0.004, services=None):
         """Spawn light OS background activity (System, svchost, dwm).

@@ -22,7 +22,13 @@ from repro.reporting.render import (
     heat_row,
     sparkline,
 )
-from repro.reporting.tables import render_table1, render_table2, render_table3
+from repro.reporting.tables import (
+    render_lint_findings,
+    render_static_bounds,
+    render_table1,
+    render_table2,
+    render_table3,
+)
 
 __all__ = [
     "bar",
@@ -41,6 +47,8 @@ __all__ = [
     "render_fig4",
     "render_fig8",
     "render_fig9",
+    "render_lint_findings",
+    "render_static_bounds",
     "render_table1",
     "render_table2",
     "render_table3",

@@ -66,6 +66,56 @@ def render_table2(suite_result):
     return "\n".join(lines)
 
 
+def render_lint_findings(report):
+    """Findings table for one ``repro lint`` run (StaticReport)."""
+    findings = report.findings
+    if not findings:
+        return "lint: no findings"
+    rows = [
+        (finding.severity, finding.code, finding.app or "-",
+         finding.location or "-", finding.message)
+        for finding in findings
+    ]
+    counts = report.counts()
+    summary = ", ".join(f"{counts[level]} {level}(s)"
+                        for level in counts if counts[level])
+    table = format_table(
+        ("severity", "code", "app", "location", "message"), rows,
+        title="Static analysis findings")
+    return f"{table}\n\n{summary}"
+
+
+def render_static_bounds(report):
+    """Per-app structure + work/span bound table (StaticReport)."""
+    rows = []
+    for name, analysis in sorted(report.apps.items()):
+        structure = analysis.structure
+        work_span = analysis.work_span
+        dynamic = sum(1 for t in structure.threads if t.dynamic)
+        locks = sum(1 for s in structure.sync if s.kind == "lock")
+        rows.append((
+            name,
+            len(structure.processes),
+            f"{work_span.width}(+{dynamic}d)",
+            locks,
+            len(structure.sync),
+            f"{work_span.work_us / 1000:.0f}",
+            f"{work_span.span_us / 1000:.0f}",
+            f"{work_span.parallelism:6.2f}",
+            f"{work_span.tlp_bound:5.1f}",
+            "yes" if structure.complete else "NO",
+        ))
+    table = format_table(
+        ("application", "procs", "threads", "locks", "sync",
+         "work ms", "span ms", "work/span", "TLP<=", "complete"),
+        rows,
+        title=f"Static structure and TLP bounds "
+              f"({report.machine_name}, {report.logical_cpus} LCPUs)")
+    return (f"{table}\n\n"
+            "TLP<= is the enforced static ceiling min(LCPUs, threads); "
+            "work/span is the structural parallelism estimate.")
+
+
 def render_table3(rows):
     """Table III: WinX with and without CUDA/NVENC.
 

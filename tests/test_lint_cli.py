@@ -1,0 +1,77 @@
+"""Tests for the ``repro lint`` CLI verb."""
+
+import json
+import textwrap
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(str(line) for line in lines)
+
+
+class TestLintCommand:
+    def test_all_apps_clean(self):
+        code, output = run_cli(["lint", "--all-apps"])
+        assert code == 0
+        assert "lint: no findings" in output
+        assert "Static structure and TLP bounds" in output
+        # every registered app appears in the bounds table
+        assert "chrome" in output and "wineth" in output
+
+    def test_subset_without_ast(self):
+        code, output = run_cli(["lint", "--apps", "vlc,word", "--no-ast"])
+        assert code == 0
+        assert "vlc" in output and "word" in output
+        assert "chrome" not in output
+
+    def test_unknown_app_rejected(self):
+        code, output = run_cli(["lint", "--apps", "nope"])
+        assert code == 2
+        assert "unknown applications" in output
+
+    def test_findings_fail_the_run(self, tmp_path):
+        bad = tmp_path / "bad_model.py"
+        bad.write_text(textwrap.dedent("""
+            import random
+
+            def body(ctx):
+                ctx.sleep(random.randint(1, 5))
+                yield ctx.cpu(1)
+            """))
+        code, output = run_cli(
+            ["lint", "--apps", "word", "--paths", str(bad)])
+        assert code == 1
+        assert "blocking-call-outside-yield" in output
+        assert "unseeded-rng" in output
+
+    def test_fail_on_threshold(self, tmp_path):
+        bad = tmp_path / "warn_only.py"
+        bad.write_text("import random\nx = random.random()\n")
+        argv = ["lint", "--apps", "word", "--paths", str(bad)]
+        assert run_cli(argv)[0] == 1                      # warning fails
+        assert run_cli(argv + ["--fail-on", "error"])[0] == 0
+
+    def test_json_report(self, tmp_path):
+        target = tmp_path / "report.json"
+        code, output = run_cli(
+            ["lint", "--apps", "wineth", "--json", str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["counts"] == {"error": 0, "warning": 0, "info": 0}
+        app = payload["apps"]["wineth"]
+        assert app["complete"] is True
+        assert app["tlp_bound"] == 3.0
+        assert app["threads"] == 3
+
+    def test_machine_flags_change_bound(self, tmp_path):
+        target = tmp_path / "report.json"
+        code, _output = run_cli(
+            ["lint", "--apps", "chrome", "--cores", "4", "--no-smt",
+             "--no-ast", "--json", str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["logical_cpus"] == 4
+        assert payload["apps"]["chrome"]["tlp_bound"] == 4.0

@@ -29,14 +29,43 @@ class TestLock:
         assert lock.locked  # now held by "b"
 
     def test_release_unheld_raises(self, kernel):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError,
+                           match=r"release of unheld lock 'lock-1'"):
             Lock(kernel).release()
 
     def test_release_by_non_owner_raises(self, kernel):
-        lock = Lock(kernel)
+        lock = Lock(kernel, name="render-mutex")
         lock.acquire("a")
-        with pytest.raises(RuntimeError):
+        with pytest.raises(
+                RuntimeError,
+                match=r"lock 'render-mutex' released by non-owner 'b'; "
+                      r"currently held by 'a'"):
             lock.release("b")
+        assert lock.owner == "a"  # failed release leaves the lock held
+
+    def test_owner_property(self, kernel):
+        lock = Lock(kernel)
+        assert lock.owner is None
+        lock.acquire("a")
+        assert lock.owner == "a"
+        lock.release("a")
+        assert lock.owner is None
+
+    def test_repr_names_state_and_waiters(self, kernel):
+        lock = Lock(kernel, name="demux")
+        assert repr(lock) == "<Lock 'demux' free, 0 waiting>"
+        lock.acquire("a")
+        lock.acquire("b")
+        assert repr(lock) == "<Lock 'demux' held by 'a', 1 waiting>"
+
+    def test_error_messages_use_thread_names(self, kernel):
+        class Thread:
+            name = "ui-thread"
+
+        lock = Lock(kernel)
+        lock.acquire(Thread())
+        with pytest.raises(RuntimeError, match="held by ui-thread"):
+            lock.release("someone-else")
 
     def test_fifo_handoff(self, kernel):
         lock = Lock(kernel)
@@ -162,6 +191,43 @@ class TestMessageQueue:
         queue = MessageQueue(kernel)
         queue.put("x")
         assert len(queue) == 1
+
+
+class TestNamingAndRegistry:
+    def test_auto_names_are_stable_per_kind(self, kernel):
+        assert Lock(kernel).name == "lock-1"
+        assert Lock(kernel).name == "lock-2"
+        assert Semaphore(kernel).name == "semaphore-1"
+        assert Barrier(kernel, parties=2).name == "barrier-1"
+        assert MessageQueue(kernel).name == "queue-1"
+        assert CountdownLatch(kernel, count=1).name == "latch-1"
+
+    def test_explicit_name_wins(self, kernel):
+        assert Lock(kernel, name="frame-lock").name == "frame-lock"
+
+    def test_kernel_inventory_records_primitives(self, kernel):
+        lock = Lock(kernel)
+        queue = MessageQueue(kernel)
+        assert lock in kernel.sync_primitives
+        assert queue in kernel.sync_primitives
+
+    def test_reprs_name_the_primitive(self, kernel):
+        assert "'semaphore-1' value=2" in repr(Semaphore(kernel, value=2))
+        assert "'barrier-1' 0/3" in repr(Barrier(kernel, parties=3))
+        assert "'queue-1' len=0" in repr(MessageQueue(kernel))
+        assert "remaining=2" in repr(CountdownLatch(kernel, count=2))
+
+    def test_primitives_work_without_registry(self):
+        """Bare kernel doubles (env only) still get usable names."""
+        class Double:
+            def __init__(self, env):
+                self.env = env
+
+        from repro.sim import Environment
+
+        lock = Lock(Double(Environment()))
+        assert lock.name.startswith("lock@")
+        assert lock.acquire("a").triggered
 
 
 class TestCountdownLatch:

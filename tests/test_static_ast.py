@@ -1,0 +1,173 @@
+"""Tests for the AST source lint pass."""
+
+import textwrap
+
+from repro.analysis.static import app_source_paths, lint_file, lint_paths
+
+
+def _write(tmp_path, source, name="fixture.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def _codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class TestBlockingCalls:
+    def test_bare_ctx_calls_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def body(ctx):
+                ctx.sleep(5)
+                ctx.cpu(10)
+                ctx.wait(None)
+                yield ctx.cpu(1)
+            """)
+        findings = lint_file(path)
+        assert _codes(findings) == ["blocking-call-outside-yield"] * 3
+        assert all(f.severity == "error" for f in findings)
+        assert findings[0].location == "fixture.py:3"
+
+    def test_yielded_calls_clean(self, tmp_path):
+        path = _write(tmp_path, """
+            def body(ctx):
+                yield ctx.sleep(5)
+                request = ctx.cpu(10)
+                yield request
+            """)
+        assert lint_file(path) == []
+
+
+class TestDiscardedAcquire:
+    def test_bare_acquire_statement_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            def body(ctx, gate):
+                gate.acquire()
+                yield ctx.cpu(1)
+            """)
+        findings = lint_file(path)
+        assert _codes(findings) == ["discarded-acquire"]
+        assert findings[0].severity == "warning"
+
+    def test_yielded_acquire_clean(self, tmp_path):
+        path = _write(tmp_path, """
+            def body(ctx, gate):
+                yield ctx.wait(gate.acquire())
+            """)
+        assert lint_file(path) == []
+
+
+class TestLockPairing:
+    def test_lock_never_released_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            from repro.os.sync import Lock
+
+            def build(kernel, ctx):
+                guard = Lock(kernel)
+                yield ctx.wait(guard.acquire(1))
+            """)
+        findings = lint_file(path)
+        assert _codes(findings) == ["lock-never-released"]
+        assert "'guard'" in findings[0].message
+
+    def test_released_lock_clean(self, tmp_path):
+        path = _write(tmp_path, """
+            from repro.os.sync import Lock
+
+            def build(kernel, ctx):
+                guard = Lock(kernel)
+                yield ctx.wait(guard.acquire(1))
+                guard.release(1)
+            """)
+        assert lint_file(path) == []
+
+    def test_semaphores_not_subject_to_pairing(self, tmp_path):
+        path = _write(tmp_path, """
+            from repro.os.sync import Semaphore
+
+            def build(kernel, ctx):
+                gate = Semaphore(kernel)
+                yield ctx.wait(gate.acquire())
+            """)
+        assert lint_file(path) == []
+
+
+class TestRngAndWallClock:
+    def test_global_rng_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import random
+
+            def pick():
+                return random.randint(0, 3)
+            """)
+        findings = lint_file(path)
+        assert _codes(findings) == ["unseeded-rng"]
+
+    def test_unseeded_constructor_flagged_seeded_clean(self, tmp_path):
+        path = _write(tmp_path, """
+            import random
+
+            bad = random.Random()
+            good = random.Random(42)
+            """)
+        findings = lint_file(path)
+        assert _codes(findings) == ["unseeded-rng"]
+        assert findings[0].location == "fixture.py:4"
+
+    def test_module_alias_tracked(self, tmp_path):
+        path = _write(tmp_path, """
+            import random as rnd
+
+            def pick():
+                return rnd.uniform(0, 1)
+            """)
+        assert _codes(lint_file(path)) == ["unseeded-rng"]
+
+    def test_from_import_tracked(self, tmp_path):
+        path = _write(tmp_path, """
+            from random import randint
+
+            def pick():
+                return randint(0, 3)
+            """)
+        assert _codes(lint_file(path)) == ["unseeded-rng"]
+
+    def test_wall_clock_flagged(self, tmp_path):
+        path = _write(tmp_path, """
+            import time
+            from time import perf_counter
+
+            def stamp():
+                time.sleep(1)
+                return time.time() + perf_counter()
+            """)
+        findings = lint_file(path)
+        assert _codes(findings) == ["wall-clock"] * 3
+        assert all(f.severity == "error" for f in findings)
+
+    def test_seeded_stream_clean(self, tmp_path):
+        path = _write(tmp_path, """
+            import random
+
+            def pick(rt):
+                rng = random.Random(rt.seed)
+                return rng.randint(0, 3)
+            """)
+        assert lint_file(path) == []
+
+
+class TestPaths:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        path = _write(tmp_path, "def broken(:\n")
+        findings = lint_file(path)
+        assert _codes(findings) == ["syntax-error"]
+
+    def test_directory_expansion(self, tmp_path):
+        _write(tmp_path, "import random\nrandom.random()\n", "one.py")
+        _write(tmp_path, "x = 1\n", "two.py")
+        findings = lint_paths([tmp_path])
+        assert _codes(findings) == ["unseeded-rng"]
+
+    def test_shipped_app_sources_are_clean(self):
+        assert lint_paths(app_source_paths()) == []

@@ -1,0 +1,84 @@
+"""Property tests: static TLP ceiling vs the simulated golden grid.
+
+The invariant from ISSUE 4: for every registered app and every machine
+in the golden grid, the static work/span TLP bound is >= the simulated
+Eq.-1 TLP.  The simulated side comes from the committed golden
+fingerprints (``tests/golden/golden_traces.json``) — no simulation
+runs here, so the whole grid stays cheap enough to check exhaustively
+on top of the sampled hypothesis pass.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.static import analyze_work_span, extract_structure
+from repro.apps import SUITE
+from repro.validate.golden import (
+    GOLDEN_CONFIGS,
+    config_id,
+    golden_machine,
+    load_goldens,
+)
+
+_structures = {}
+
+
+def _bound(name, cores, smt):
+    """Static work/span result, cached per (app, machine) pair."""
+    key = (name, cores, smt)
+    if key not in _structures:
+        _structures[key] = analyze_work_span(
+            extract_structure(name, machine=golden_machine(cores, smt)))
+    return _structures[key]
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    try:
+        return load_goldens()
+    except FileNotFoundError:
+        pytest.skip("no committed golden fingerprints")
+
+
+def _golden_tlp(goldens, name, cores, smt):
+    fingerprint = goldens.get(name, {}).get(config_id(cores, smt))
+    if fingerprint is None:
+        pytest.skip(f"no golden for {name} on {config_id(cores, smt)}")
+    return float.fromhex(fingerprint["tlp"])
+
+
+class TestStaticBoundDominatesGoldenTlp:
+    def test_exhaustive_grid(self, goldens):
+        """Every (app, machine) pair in the golden grid, no sampling."""
+        violations = []
+        for name in SUITE:
+            for cores, smt in GOLDEN_CONFIGS:
+                result = _bound(name, cores, smt)
+                tlp = _golden_tlp(goldens, name, cores, smt)
+                if tlp > result.tlp_bound + 1e-9:
+                    violations.append(
+                        f"{name}[{config_id(cores, smt)}]: "
+                        f"TLP {tlp:.4f} > bound {result.tlp_bound:.4f}")
+        assert violations == []
+
+    @settings(deadline=None, max_examples=60,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(name=st.sampled_from(sorted(SUITE)),
+           config=st.sampled_from(GOLDEN_CONFIGS))
+    def test_sampled_pairs(self, goldens, name, config):
+        cores, smt = config
+        result = _bound(name, cores, smt)
+        tlp = _golden_tlp(goldens, name, cores, smt)
+        assert tlp <= result.tlp_bound + 1e-9
+        assert result.tlp_bound <= golden_machine(cores, smt).logical_cpus
+
+    @settings(deadline=None, max_examples=20)
+    @given(name=st.sampled_from(sorted(SUITE)),
+           config=st.sampled_from(GOLDEN_CONFIGS))
+    def test_bound_is_positive_and_machine_capped(self, name, config):
+        cores, smt = config
+        result = _bound(name, cores, smt)
+        machine = golden_machine(cores, smt)
+        assert 0 < result.tlp_bound <= machine.logical_cpus
+        assert result.width >= 1
