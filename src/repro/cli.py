@@ -58,7 +58,51 @@ def _check_exec_args(args, out):
     if cache is not None and os.path.exists(cache) and not os.path.isdir(cache):
         out(f"error: --cache {cache!r} is not a directory")
         return 2
+    if getattr(args, "retries", None) is not None and args.retries < 0:
+        out("error: --retries must be >= 0")
+        return 2
+    deadline = getattr(args, "deadline_us", None)
+    if deadline is not None and deadline <= 0:
+        out("error: --deadline-us must be a positive wall-clock budget")
+        return 2
+    if getattr(args, "journal", None) and getattr(args, "resume", None):
+        out("error: pass either --journal (fresh sweep) or --resume "
+            "(continue one), not both")
+        return 2
+    resume = getattr(args, "resume", None)
+    if resume is not None and not os.path.exists(resume):
+        out(f"error: --resume journal {resume!r} does not exist")
+        return 2
+    if getattr(args, "salvage", False) and getattr(args, "streaming",
+                                                   False):
+        out("error: --salvage recovers a prefix of the recorded trace; "
+            "incompatible with --streaming")
+        return 2
     return 0
+
+
+def _supervised(args):
+    """True when any resilience flag asks for the supervised executor."""
+    return bool(getattr(args, "retries", None)
+                or getattr(args, "deadline_us", None)
+                or getattr(args, "journal", None)
+                or getattr(args, "resume", None))
+
+
+def _executor_from_args(args, cache):
+    """A SupervisedExecutor when resilience flags are set, else None."""
+    if not _supervised(args):
+        return None
+    from repro.harness import SupervisedExecutor
+
+    deadline_us = getattr(args, "deadline_us", None)
+    return SupervisedExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        retries=getattr(args, "retries", None) or 0,
+        deadline_s=deadline_us / 1e6 if deadline_us else None,
+        journal=getattr(args, "journal", None),
+        resume=getattr(args, "resume", None))
 
 
 def _cache_from_args(args):
@@ -118,15 +162,28 @@ def cmd_run(args, out):
         app = create_app(args.app)
         machine = _machine_from_args(args)
     driver = MANUAL if args.manual else AUTOIT
-    result = run_app(app,
-                     machine=machine,
-                     duration_us=int(args.duration * SECOND),
-                     iterations=args.iterations,
-                     driver_mode=driver,
-                     jobs=args.jobs,
-                     cache=_cache_from_args(args),
-                     streaming=args.streaming,
-                     validate=args.validate)
+    cache = _cache_from_args(args)
+    executor = _executor_from_args(args, cache)
+    try:
+        result = run_app(app,
+                         machine=machine,
+                         duration_us=int(args.duration * SECOND),
+                         iterations=args.iterations,
+                         driver_mode=driver,
+                         jobs=None if executor is not None else args.jobs,
+                         executor=executor,
+                         cache=None if executor is not None else cache,
+                         streaming=args.streaming,
+                         validate=args.validate,
+                         salvage=args.salvage)
+    except RuntimeError as exc:
+        if executor is not None and executor.failures:
+            from repro.reporting import render_failures
+
+            out(render_failures(executor.failures))
+            out(f"error: {exc}")
+            return 1
+        raise
     out(f"{result.display_name} on {machine.cpu.name} "
         f"({machine.logical_cpus} LCPUs, SMT "
         f"{'on' if machine.smt_enabled else 'off'}, {machine.gpu.name})")
@@ -139,6 +196,14 @@ def cmd_run(args, out):
                  if isinstance(v, (int, float, str, bool))}
     if printable:
         out(f"  outputs         : {printable}")
+    if result.partial:
+        out("  NOTE: partial result — some iterations were salvaged "
+            "or quarantined")
+    if executor is not None and executor.failures:
+        from repro.reporting import render_failures
+
+        out(render_failures(executor.failures))
+        return 1
     return 0
 
 
@@ -150,15 +215,23 @@ def cmd_suite(args, out):
     if unknown:
         out(f"error: unknown applications: {', '.join(unknown)}")
         return 2
+    cache = _cache_from_args(args)
+    executor = _executor_from_args(args, cache)
     suite = run_suite(names=names,
                       machine=_machine_from_args(args),
                       duration_us=int(args.duration * SECOND),
                       iterations=args.iterations,
-                      jobs=args.jobs,
-                      cache=_cache_from_args(args),
+                      jobs=None if executor is not None else args.jobs,
+                      executor=executor,
+                      cache=None if executor is not None else cache,
                       streaming=args.streaming,
-                      validate=args.validate)
+                      validate=args.validate,
+                      salvage=args.salvage)
     out(render_table2(suite))
+    if suite.failures:
+        from repro.reporting import render_failures
+
+        out(render_failures(suite.failures))
     if args.json:
         from repro.harness.persistence import save_suite
 
@@ -171,7 +244,7 @@ def cmd_suite(args, out):
 
         suite_to_csv(suite, args.csv)
         out(f"saved CSV results to {args.csv}")
-    return 0
+    return 1 if suite.failures else 0
 
 
 def cmd_validate(args, out):
@@ -373,6 +446,27 @@ def build_parser():
                        help="check every run against the trace-invariant "
                             "catalogue (fails loudly on an inconsistent "
                             "trace)")
+        p.add_argument("--salvage", action="store_true",
+                       help="degrade instead of aborting: recover the "
+                            "longest valid prefix of a rejected trace "
+                            "(or of a crashed run) and report the result "
+                            "as partial")
+        p.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retry a failed run up to N times with "
+                            "deterministic seeded backoff (implies the "
+                            "supervised executor)")
+        p.add_argument("--deadline-us", type=int, default=None,
+                       metavar="US",
+                       help="wall-clock budget per run attempt, in "
+                            "microseconds; a run over budget is killed "
+                            "and quarantined (implies process isolation)")
+        p.add_argument("--journal", default=None, metavar="PATH",
+                       help="write a checkpoint journal of the sweep to "
+                            "PATH (JSONL, one fsynced line per run)")
+        p.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume the sweep recorded in journal PATH, "
+                            "restoring completed runs from the result "
+                            "cache")
         p.add_argument("--profile", action="store_true",
                        help="run under cProfile and print the top 25 "
                             "functions by cumulative time")

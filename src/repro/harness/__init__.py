@@ -18,6 +18,12 @@ from repro.harness.executor import (
     resolve_executor,
 )
 from repro.harness.suite import SuiteResult, run_suite
+from repro.harness.supervisor import (
+    FAILURE_KINDS,
+    RunFailure,
+    SupervisedExecutor,
+    SweepJournal,
+)
 from repro.harness.sweeps import core_scaling_sweep, gpu_swap_sweep, smt_sweep
 
 
@@ -46,12 +52,16 @@ __all__ = [
     "ColocatedRun",
     "DEFAULT_DURATION_US",
     "DEFAULT_ITERATIONS",
+    "FAILURE_KINDS",
     "ParallelExecutor",
     "ResultCache",
+    "RunFailure",
     "RunSpec",
     "SerialExecutor",
     "SingleRun",
     "SuiteResult",
+    "SupervisedExecutor",
+    "SweepJournal",
     "core_scaling_sweep",
     "gpu_swap_sweep",
     "make_spec",

@@ -111,6 +111,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def key_for(self, spec):
         """Cache key for ``spec`` (``None`` when uncacheable)."""
@@ -125,13 +126,25 @@ class ResultCache:
         The one-tuple wrapper keeps a legitimately-``None`` payload
         distinguishable from a miss.
         """
+        return self.load_classified(key)[1]
+
+    def load_classified(self, key):
+        """Like :meth:`load`, but says *why* there was no payload.
+
+        Returns ``("hit", (result,))``, ``("miss", None)``, or
+        ``("corrupt", None)`` when the entry existed but could not be
+        unpickled — the bad file is deleted either way, but the
+        supervised executor records the corruption as a
+        ``cache-corrupt`` incident instead of treating it as an
+        ordinary cold miss.
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
                 result = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
-            return None
+            return ("miss", None)
         except Exception:
             # Corrupt or unreadable entry: drop it and recompute.
             try:
@@ -139,9 +152,10 @@ class ResultCache:
             except OSError:
                 pass
             self.misses += 1
-            return None
+            self.corrupt += 1
+            return ("corrupt", None)
         self.hits += 1
-        return (result,)
+        return ("hit", (result,))
 
     def invalidate(self, key):
         """Drop the entry for ``key`` (reuse-time validation failed)."""

@@ -57,6 +57,9 @@ RUN_DEFAULTS = {
     "quantum": None,
     "streaming": False,
     "validate": False,
+    "salvage": False,
+    "fault": None,
+    "fault_seed": 0,
 }
 
 
@@ -215,12 +218,29 @@ class ParallelExecutor(_CachingExecutor):
         if len(remote) == 1:
             local.append(remote.pop())
         if remote:
-            with _ProcessPool(
-                    max_workers=min(self.jobs, len(remote))) as pool:
+            pool = _ProcessPool(max_workers=min(self.jobs, len(remote)))
+            try:
                 futures = [(i, pool.submit(execute_spec, specs[i]))
                            for i in remote]
                 for i, future in futures:
-                    results[i] = future.result()
+                    try:
+                        results[i] = future.result()
+                    except Exception as exc:
+                        # The pool re-raises worker exceptions with the
+                        # remote traceback only as a chained cause that
+                        # plain `str(exc)` loses; pin it on the
+                        # exception so callers can report where in the
+                        # worker the run actually died.
+                        if exc.__cause__ is not None:
+                            exc.remote_traceback = str(exc.__cause__)
+                        raise
+            except BaseException:
+                # KeyboardInterrupt or a worker failure: drop queued
+                # work and do not block on stragglers — callers (the
+                # supervisor journal above us) need control back now.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool.shutdown(wait=True)
         for i in local:
             results[i] = execute_spec(specs[i])
         self.executed += len(pending)

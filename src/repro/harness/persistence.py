@@ -33,6 +33,7 @@ def app_result_to_dict(result):
         "fractions": list(result.fractions),
         "max_instantaneous": result.max_instantaneous,
         "gpu_capped": result.gpu_capped,
+        "partial": getattr(result, "partial", False),
         "iteration_tlp": [run.tlp.tlp for run in result.runs],
         "iteration_gpu": [run.gpu_util.utilization_pct
                           for run in result.runs],
@@ -55,6 +56,7 @@ class StoredAppResult:
         self.fractions = list(data["fractions"])
         self.max_instantaneous = data["max_instantaneous"]
         self.gpu_capped = data["gpu_capped"]
+        self.partial = data.get("partial", False)
         self.iteration_tlp = list(data["iteration_tlp"])
         self.iteration_gpu = list(data["iteration_gpu"])
         self.outputs = dict(data["outputs"])
@@ -67,6 +69,8 @@ def save_suite(suite_result, path, metadata=None):
         "metadata": metadata or {},
         "results": {name: app_result_to_dict(result)
                     for name, result in suite_result.results.items()},
+        "failures": [failure.to_payload() for failure in
+                     getattr(suite_result, "failures", ())],
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -80,7 +84,12 @@ def load_suite(path):
         payload = json.load(fh)
     if payload.get("format") != "repro-suite-v1":
         raise ValueError(f"{path} is not a repro suite result file")
-    return SuiteResult(results={
-        name: StoredAppResult(data)
-        for name, data in payload["results"].items()
-    })
+    from repro.harness.supervisor import RunFailure
+
+    return SuiteResult(
+        results={
+            name: StoredAppResult(data)
+            for name, data in payload["results"].items()
+        },
+        failures=[RunFailure.from_payload(data)
+                  for data in payload.get("failures", ())])

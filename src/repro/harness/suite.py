@@ -11,7 +11,7 @@ processes with bit-identical results, and a ``cache`` skips grid
 points a previous campaign already computed.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.apps import CATEGORIES, SUITE, create_app
 from repro.harness.executor import resolve_executor
@@ -26,9 +26,22 @@ from repro.metrics import mean
 
 @dataclass
 class SuiteResult:
-    """Results for every application plus the aggregate views."""
+    """Results for every application plus the aggregate views.
+
+    Under a :class:`~repro.harness.supervisor.SupervisedExecutor` a
+    sweep can lose individual grid points; ``failures`` carries their
+    quarantined :class:`~repro.harness.supervisor.RunFailure` records,
+    and an app whose every iteration failed has no row in ``results``
+    (the aggregates are honest about what was actually measured).
+    """
 
     results: dict                # app key -> AppResult
+    failures: list = field(default_factory=list)
+
+    def partial_apps(self):
+        """App keys whose row is partial (salvaged or lost iterations)."""
+        return [name for name, result in self.results.items()
+                if getattr(result, "partial", False)]
 
     def category_averages(self):
         """{Category: (avg TLP, avg GPU util)} — Table II's last columns."""
@@ -72,7 +85,14 @@ def run_suite(names=SUITE, machine=None, duration_us=DEFAULT_DURATION_US,
         spans.append((app, len(specs), len(specs) + len(app_specs)))
         specs.extend(app_specs)
     runs = executor.map(specs)
-    return SuiteResult(results={
-        app.name: summarize_runs(app, runs[lo:hi])
-        for app, lo, hi in spans
-    })
+    results = {}
+    for app, lo, hi in spans:
+        try:
+            results[app.name] = summarize_runs(app, runs[lo:hi])
+        except RuntimeError:
+            # Every iteration quarantined; the failure records below
+            # are the only honest row for this app.
+            continue
+    return SuiteResult(
+        results=results,
+        failures=list(getattr(executor, "failures", ())))

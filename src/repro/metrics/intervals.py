@@ -97,6 +97,31 @@ def fused_sweep(intervals, window_start, window_stop, *, events=None):
     return FusedSweep(profile, covered, peak)
 
 
+def first_time_above(events, bound):
+    """Earliest instant at which more than ``bound`` intervals overlap
+    for a positive span, or ``None`` if the level never exceeds it.
+
+    Zero-width excursions above the bound (a ``+1``/``-1`` pair at the
+    same instant) are ignored, matching the positive-span-only peak
+    tracking of :func:`fused_sweep`.  Used by the trace validator to
+    timestamp CPU-oversubscription violations — which is what lets the
+    salvage pass (:mod:`repro.trace.salvage`) cut a corrupted trace
+    exactly where it first became inconsistent.
+    """
+    level = 0
+    above_since = None
+    for time, delta in events:
+        if above_since is not None and time > above_since:
+            return above_since
+        level += delta
+        if level > bound:
+            if above_since is None:
+                above_since = time
+        else:
+            above_since = None
+    return None
+
+
 def concurrency_profile(intervals, window_start, window_stop, *, events=None):
     """Time spent at each concurrency level within the window.
 

@@ -23,6 +23,7 @@ from repro.reporting.render import (
     sparkline,
 )
 from repro.reporting.tables import (
+    render_failures,
     render_lint_findings,
     render_static_bounds,
     render_table1,
@@ -47,6 +48,7 @@ __all__ = [
     "render_fig4",
     "render_fig8",
     "render_fig9",
+    "render_failures",
     "render_lint_findings",
     "render_static_bounds",
     "render_table1",

@@ -35,9 +35,12 @@ def render_table2(suite_result):
             gpu_text = f"{result.gpu_util.mean:6.1f}"
             if result.gpu_capped:
                 gpu_text = "*" + gpu_text.strip()
+            display = result.display_name
+            if getattr(result, "partial", False):
+                display = "~" + display
             rows.append((
                 category.value,
-                result.display_name,
+                display,
                 heat_row(result.fractions),
                 f"{result.tlp.mean:5.1f}",
                 f"{result.tlp.std:4.2f}",
@@ -63,7 +66,32 @@ def render_table2(suite_result):
     lines.append(f"Applications with TLP > 4: {len(above)} of "
                  f"{len(suite_result.results)} (paper: 6 of 30): "
                  f"{', '.join(sorted(above))}")
+    partial = [name for name, result in suite_result.results.items()
+               if getattr(result, "partial", False)]
+    if partial:
+        lines.append(f"~ partial rows (salvaged traces or lost "
+                     f"iterations): {', '.join(sorted(partial))}")
     return "\n".join(lines)
+
+
+def render_failures(failures):
+    """Quarantine report of a supervised sweep (RunFailure records)."""
+    if not failures:
+        return "supervisor: no quarantined runs"
+    rows = [
+        (failure.kind, failure.app, failure.seed, failure.attempts,
+         failure.detail)
+        for failure in failures
+    ]
+    counts = {}
+    for failure in failures:
+        counts[failure.kind] = counts.get(failure.kind, 0) + 1
+    summary = ", ".join(f"{count} {kind}"
+                        for kind, count in sorted(counts.items()))
+    table = format_table(
+        ("kind", "app", "seed", "attempts", "detail"), rows,
+        title="Quarantined runs")
+    return f"{table}\n\n{len(failures)} quarantined: {summary}"
 
 
 def render_lint_findings(report):

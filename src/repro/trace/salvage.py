@@ -1,0 +1,221 @@
+"""Partial-trace salvage — recover the longest valid prefix.
+
+A long characterization campaign should degrade, not abort, when one
+trace comes back imperfect (TASKPROF makes the same argument for
+profiling pipelines): a capture truncated by a dying tracer, a skewed
+clock or a double-booked CPU invalidates the *tail* of a trace, not
+the minutes of consistent schedule before it.  This module turns a
+trace the :class:`~repro.validate.invariants.TraceValidator` rejects
+into the longest time-prefix that passes the full invariant catalogue,
+so Eq.-1 TLP and GPU utilization can be recomputed over the salvaged
+window and reported as ``partial`` instead of being thrown away.
+
+The cut search is driven by the validator itself: every violation that
+can be placed in time carries the earliest simulation time at which
+the trace is known inconsistent (``Violation.time``), and
+:func:`salvage_prefix` repeatedly truncates just before the earliest
+such time until the prefix validates.  Corruption confined to a suffix
+— every registered fault in :mod:`repro.validate.faults` — salvages in
+one or two iterations; corruption the validator cannot place in time
+(e.g. a pure ``busy-conservation`` disagreement) is unsalvageable and
+reported as such.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SalvageResult:
+    """Outcome of a successful :func:`salvage_prefix` pass."""
+
+    #: The salvaged trace; its window is ``[start_time, cut_time]``.
+    trace: object
+    #: Simulation time the capture was cut at.
+    cut_time: int
+    #: Stop time the rejected trace originally advertised.
+    original_stop: int
+    #: Records dropped because they began at/after the cut.
+    dropped_cswitches: int
+    dropped_gpu_packets: int
+    #: Records whose end was clipped to the cut (they straddled it).
+    clipped_cswitches: int
+    clipped_gpu_packets: int
+    #: Invariants the original trace violated, in catalogue order.
+    invariants: tuple = ()
+
+    @property
+    def salvaged_us(self):
+        """Length of the recovered window."""
+        return self.cut_time - self.trace.start_time
+
+    def to_payload(self):
+        """JSON-serializable summary (journals, persistence)."""
+        return {
+            "cut_time": self.cut_time,
+            "original_stop": self.original_stop,
+            "salvaged_us": self.salvaged_us,
+            "dropped_cswitches": self.dropped_cswitches,
+            "dropped_gpu_packets": self.dropped_gpu_packets,
+            "clipped_cswitches": self.clipped_cswitches,
+            "clipped_gpu_packets": self.clipped_gpu_packets,
+            "invariants": list(self.invariants),
+        }
+
+
+@dataclass(frozen=True)
+class SalvageInfo:
+    """Why a :class:`~repro.harness.runner.SingleRun` is partial.
+
+    ``reason`` is ``"invalid-trace"`` (the validator rejected the
+    capture and a prefix was recovered) or ``"crash"`` (the simulation
+    died mid-run and whatever the session had recorded was kept).
+    Carried on the run end to end — suite tables, persistence and the
+    CLI all read it — and deliberately small/picklable: it summarizes
+    the salvage, it does not retain the trace.
+    """
+
+    reason: str
+    cut_time: int
+    original_stop: int
+    salvaged_us: int
+    dropped_cswitches: int = 0
+    dropped_gpu_packets: int = 0
+    invariants: tuple = ()
+    detail: str = ""
+
+    def to_payload(self):
+        return {
+            "reason": self.reason,
+            "cut_time": self.cut_time,
+            "original_stop": self.original_stop,
+            "salvaged_us": self.salvaged_us,
+            "dropped_cswitches": self.dropped_cswitches,
+            "dropped_gpu_packets": self.dropped_gpu_packets,
+            "invariants": list(self.invariants),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class _Truncation:
+    """One truncation pass: the cut trace plus its drop/clip counts
+    (relative to the trace the cut was taken from)."""
+
+    trace: object
+    dropped_cswitches: int = 0
+    dropped_gpu_packets: int = 0
+    clipped_cswitches: int = 0
+    clipped_gpu_packets: int = 0
+
+
+def truncate_trace(trace, cut):
+    """The trace a capture stopped at ``cut`` would have produced.
+
+    Scheduling slices and GPU packets that begin at/after the cut are
+    dropped; ones straddling it are clipped to end at the cut (they
+    were genuinely running when the shorter capture would have closed).
+    Nothing else is repaired: a record that is inconsistent *before*
+    the cut stays inconsistent, which is what keeps
+    :func:`salvage_prefix` honest about "longest valid prefix" rather
+    than silently rewriting data.
+    """
+    from repro.trace.etl import EtlTrace
+
+    if cut < trace.start_time:
+        raise ValueError("cut before trace start")
+    result = _Truncation(trace=None)
+    cswitches = []
+    for row in trace.cswitch_rows():
+        if row[6] >= cut:
+            result.dropped_cswitches += 1
+            continue
+        if row[7] > cut:
+            row = row[:7] + (cut,)
+            result.clipped_cswitches += 1
+        cswitches.append(row)
+    gpu_packets = []
+    for row in trace.gpu_rows():
+        if row[5] >= cut:
+            result.dropped_gpu_packets += 1
+            continue
+        if row[6] > cut:
+            row = row[:6] + (cut,)
+            result.clipped_gpu_packets += 1
+        gpu_packets.append(row)
+    frames = [f for f in trace.frames if f.present_time <= cut]
+    marks = [m for m in trace.marks if m.time <= cut]
+    result.trace = EtlTrace(
+        trace.start_time, cut,
+        cswitches=_columns_from_rows("cswitch", cswitches),
+        gpu_packets=_columns_from_rows("gpu", gpu_packets),
+        frames=frames, marks=marks,
+        machine_name=trace.machine_name)
+    return result
+
+
+def _columns_from_rows(kind, rows):
+    """Rebuild a columnar store from raw row tuples.
+
+    Columnar buffers append without ``__post_init__`` validation, so a
+    still-corrupt prefix (rows the cut did not reach) survives the
+    round trip exactly — the validator, not the container, decides
+    whether the prefix is sound.
+    """
+    from repro.trace.columns import CswitchColumns, GpuPacketColumns
+
+    columns = CswitchColumns() if kind == "cswitch" else GpuPacketColumns()
+    for row in rows:
+        columns.append(*row)
+    return columns
+
+
+def salvage_prefix(trace, n_logical=None, report=None, max_iterations=32):
+    """Longest valid time-prefix of a rejected trace, or ``None``.
+
+    ``report`` is an optional pre-computed
+    :class:`~repro.validate.invariants.ValidationReport` for ``trace``
+    (saves one validation pass when the caller already rejected it).
+    Returns a :class:`SalvageResult` whose trace passes the full
+    invariant catalogue over ``[start_time, cut_time]``, or ``None``
+    when no positive-length prefix validates — corruption at the very
+    first record, or violations the validator cannot place in time.
+    """
+    from repro.validate.invariants import TraceValidator
+
+    validator = TraceValidator(n_logical=n_logical)
+    if report is None:
+        report = validator.validate(trace)
+    if report.ok:
+        return SalvageResult(
+            trace=trace, cut_time=trace.stop_time,
+            original_stop=trace.stop_time,
+            dropped_cswitches=0, dropped_gpu_packets=0,
+            clipped_cswitches=0, clipped_gpu_packets=0)
+    original = report
+    cut = trace.stop_time
+    for _ in range(max_iterations):
+        # Always re-cut the *original* trace, so the truncation's
+        # drop/clip counts are cumulative relative to it.
+        truncation = truncate_trace(trace, cut)
+        candidate = truncation.trace
+        if candidate.stop_time <= candidate.start_time:
+            return None
+        verdict = validator.validate(candidate)
+        if verdict.ok:
+            return SalvageResult(
+                trace=candidate, cut_time=cut,
+                original_stop=trace.stop_time,
+                dropped_cswitches=truncation.dropped_cswitches,
+                dropped_gpu_packets=truncation.dropped_gpu_packets,
+                clipped_cswitches=truncation.clipped_cswitches,
+                clipped_gpu_packets=truncation.clipped_gpu_packets,
+                invariants=tuple(original.invariants_violated))
+        hints = [v.time for v in verdict.violations if v.time is not None]
+        if not hints:
+            return None
+        # Strict progress: violations surviving a cut at time T sit
+        # strictly before T, so the cut decreases every iteration.
+        cut = min(min(hints), cut - 1)
+        if cut <= trace.start_time:
+            return None
+    return None

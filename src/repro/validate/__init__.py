@@ -21,9 +21,13 @@ flag of ``run``/``suite``, and ``validate=True`` on
 """
 
 from repro.validate.faults import (
+    EXEC_FAULTS,
     FAULTS,
     FaultPreconditionError,
+    InjectedCrash,
     inject_fault,
+    install_exec_fault,
+    is_exec_fault,
 )
 from repro.validate.golden import (
     GOLDEN_CONFIGS,
@@ -51,8 +55,10 @@ from repro.validate.invariants import (
 )
 
 __all__ = [
+    "EXEC_FAULTS",
     "FAULTS",
     "FaultPreconditionError",
+    "InjectedCrash",
     "GOLDEN_CONFIGS",
     "GOLDEN_DURATION_US",
     "GOLDEN_SEED",
@@ -71,6 +77,8 @@ __all__ = [
     "golden_machine",
     "golden_spec",
     "inject_fault",
+    "install_exec_fault",
+    "is_exec_fault",
     "load_goldens",
     "save_goldens",
     "validate_trace",

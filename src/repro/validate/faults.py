@@ -17,6 +17,7 @@ dataclass constructors would refuse to build.
 """
 
 import random
+import time
 from dataclasses import dataclass
 
 from repro.trace.columns import CswitchColumns, GpuPacketColumns
@@ -25,6 +26,10 @@ from repro.trace.etl import EtlTrace
 
 class FaultPreconditionError(ValueError):
     """The trace is too small/simple for this fault to be injectable."""
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by the ``worker-crash`` execution fault mid-simulation."""
 
 
 @dataclass(frozen=True)
@@ -182,6 +187,72 @@ FAULTS = {
             _cross_thread_edge_swap),
     )
 }
+
+
+# -- execution faults ----------------------------------------------------
+#
+# Trace faults above corrupt *data*; execution faults corrupt the
+# *worker process* running a simulation, which is what the supervised
+# executor (:mod:`repro.harness.supervisor`) must survive.  They are
+# spelled as ``fault`` names on a run spec, alongside the trace faults:
+#
+# ``worker-crash``          raise :class:`InjectedCrash` mid-simulation
+# ``worker-hang``           block on wall-clock sleep mid-simulation
+#                           (only a watchdog SIGTERM ends the run)
+# ``flaky-crash:<path>``    crash once, then run clean — the marker
+# ``flaky-hang:<path>``     file at ``<path>`` records the first strike,
+#                           so a retry of the same spec succeeds
+#
+# The flaky variants are what exercise the retry loop end to end: the
+# marker file is the only cross-attempt state, created atomically with
+# ``open(path, "x")`` so exactly one attempt faults even if two race.
+
+EXEC_FAULTS = ("worker-crash", "worker-hang")
+_FLAKY_PREFIXES = ("flaky-crash:", "flaky-hang:")
+
+
+def is_exec_fault(fault):
+    """True if ``fault`` names an execution fault (not a trace fault)."""
+    return isinstance(fault, str) and (
+        fault in EXEC_FAULTS
+        or fault.startswith(_FLAKY_PREFIXES))
+
+
+def _strike(fault):
+    """Whether this attempt should fault, consuming flaky markers."""
+    if fault in EXEC_FAULTS:
+        return True
+    prefix, _, path = fault.partition(":")
+    try:
+        with open(path, "x"):
+            return True       # first strike: marker created, fault fires
+    except FileExistsError:
+        return False          # already struck once: run clean
+
+
+def install_exec_fault(env, duration_us, fault):
+    """Arm ``fault`` on a simulation environment.
+
+    Schedules the fault at half the measurement window via
+    ``env.timeout`` — deep inside the run, so a crash leaves a
+    half-recorded trace for the salvage path and a hang leaves the
+    worker genuinely wedged mid-simulation.  Raising from a timeout
+    callback propagates out of ``env.run`` (see
+    :mod:`repro.sim.environment`), which is exactly how a real
+    simulation bug would surface.
+    """
+    if not is_exec_fault(fault):
+        raise ValueError(f"not an execution fault: {fault!r}")
+    if not _strike(fault):
+        return
+
+    def detonate(_event):
+        if "hang" in fault.partition(":")[0]:
+            while True:       # wedged until the watchdog SIGTERMs us
+                time.sleep(0.05)
+        raise InjectedCrash(f"injected execution fault: {fault}")
+
+    env.timeout(max(1, duration_us // 2)).callbacks.append(detonate)
 
 
 def inject_fault(trace, fault, seed=0):

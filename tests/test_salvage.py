@@ -1,0 +1,205 @@
+"""Partial-trace salvage: longest-valid-prefix recovery.
+
+The degraded-mode analytics contract: every registered fault corrupts
+a suffix of the trace, so ``salvage_prefix`` must recover a positive
+prefix that passes the full invariant catalogue, and ``run_app_once``
+with ``salvage=True`` must turn what would have been an aborted run
+into a ``partial=True`` result whose metrics are recomputed over
+exactly that prefix.
+"""
+
+import pytest
+
+from repro.apps import create_app
+from repro.harness.runner import run_app_once
+from repro.hardware import paper_machine
+from repro.metrics import measure_gpu_utilization, measure_tlp
+from repro.metrics.intervals import first_time_above
+from repro.sim import SECOND
+from repro.trace import CpuUsagePreciseTable, GpuUtilizationTable
+from repro.trace.salvage import salvage_prefix, truncate_trace
+from repro.validate import (
+    FAULTS,
+    TraceValidationError,
+    TraceValidator,
+    inject_fault,
+)
+
+DURATION = 1 * SECOND
+SEED = 2019
+N_LOGICAL = paper_machine().logical_cpus
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return run_app_once(create_app("chrome"), duration_us=DURATION,
+                        seed=SEED, keep_trace=True)
+
+
+class TestFirstTimeAbove:
+    def test_reports_earliest_positive_excursion(self):
+        events = [(0, 1), (5, 1), (5, 1), (9, -1), (9, -1), (12, -1)]
+        assert first_time_above(events, 2) == 5
+
+    def test_zero_width_excursions_ignored(self):
+        # +2 at t=7 immediately cancelled at t=7: no positive span.
+        events = [(0, 1), (7, 1), (7, 1), (7, -1), (7, -1), (10, -1)]
+        assert first_time_above(events, 2) is None
+
+    def test_never_above(self):
+        events = [(0, 1), (4, -1), (4, 1), (8, -1)]
+        assert first_time_above(events, 1) is None
+
+
+class TestTruncateTrace:
+    def test_window_and_straddlers(self, clean_run):
+        trace = clean_run.trace
+        cut = (trace.start_time + trace.stop_time) // 2
+        truncation = truncate_trace(trace, cut)
+        shorter = truncation.trace
+        assert shorter.stop_time == cut
+        assert all(row[7] <= cut for row in shorter.cswitch_rows())
+        assert all(row[6] <= cut for row in shorter.gpu_rows())
+        kept = len(list(shorter.cswitch_rows()))
+        assert kept + truncation.dropped_cswitches == \
+            len(list(trace.cswitch_rows()))
+        assert truncation.dropped_cswitches > 0
+
+    def test_cut_before_start_rejected(self, clean_run):
+        with pytest.raises(ValueError):
+            truncate_trace(clean_run.trace, clean_run.trace.start_time - 1)
+
+    def test_truncation_is_itself_valid(self, clean_run):
+        cut = (clean_run.trace.start_time + clean_run.trace.stop_time) // 2
+        shorter = truncate_trace(clean_run.trace, cut).trace
+        assert TraceValidator(N_LOGICAL).validate(shorter).ok
+
+
+class TestSalvagePrefix:
+    def test_valid_trace_passes_through(self, clean_run):
+        result = salvage_prefix(clean_run.trace, N_LOGICAL)
+        assert result.trace is clean_run.trace
+        assert result.cut_time == clean_run.trace.stop_time
+        assert result.dropped_cswitches == 0
+
+    @pytest.mark.parametrize("fault", sorted(FAULTS))
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_every_fault_salvages_to_a_valid_prefix(self, clean_run,
+                                                    fault, seed):
+        bad = inject_fault(clean_run.trace, fault, seed=seed)
+        report = TraceValidator(N_LOGICAL).validate(bad)
+        assert not report.ok
+        result = salvage_prefix(bad, N_LOGICAL, report=report)
+        assert result is not None, f"{fault} unsalvageable"
+        assert result.salvaged_us > 0
+        assert result.cut_time < clean_run.trace.stop_time or \
+            fault == "truncated-trace"
+        assert TraceValidator(N_LOGICAL).validate(result.trace).ok
+        assert FAULTS[fault].violates in result.invariants
+
+    def test_violation_time_hints_present(self, clean_run):
+        # The cut search relies on violations carrying a time; every
+        # registered fault must produce at least one hinted violation.
+        for fault in FAULTS:
+            bad = inject_fault(clean_run.trace, fault, seed=0)
+            report = TraceValidator(N_LOGICAL).validate(bad)
+            assert any(v.time is not None for v in report.violations), fault
+
+    def test_payload_is_json_shaped(self, clean_run):
+        bad = inject_fault(clean_run.trace, "timestamp-skew", seed=0)
+        payload = salvage_prefix(bad, N_LOGICAL).to_payload()
+        assert payload["salvaged_us"] == \
+            payload["cut_time"] - clean_run.trace.start_time
+        assert "thread-monotonic" in payload["invariants"]
+
+
+class TestRunSalvage:
+    def test_streaming_incompatible(self):
+        with pytest.raises(ValueError, match="streaming"):
+            run_app_once(create_app("chrome"), duration_us=DURATION,
+                         streaming=True, salvage=True)
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            run_app_once(create_app("chrome"), duration_us=DURATION,
+                         fault="no-such-fault")
+
+    def test_clean_run_not_partial(self):
+        run = run_app_once(create_app("chrome"), duration_us=DURATION,
+                           seed=SEED, salvage=True)
+        assert run.partial is False
+        assert run.salvage is None
+
+    def test_fault_without_salvage_raises(self):
+        with pytest.raises(TraceValidationError):
+            run_app_once(create_app("chrome"), duration_us=DURATION,
+                         seed=SEED, fault="timestamp-skew", validate=True)
+
+    @pytest.mark.parametrize("fault", sorted(FAULTS))
+    def test_fault_with_salvage_is_partial(self, fault):
+        run = run_app_once(create_app("chrome"), duration_us=DURATION,
+                           seed=SEED, fault=fault, fault_seed=1,
+                           salvage=True)
+        assert run.partial is True
+        assert run.salvage.reason == "invalid-trace"
+        assert 0 < run.salvage.salvaged_us <= DURATION
+        assert FAULTS[fault].violates in run.salvage.invariants
+
+    def test_partial_metrics_match_salvaged_prefix(self, clean_run):
+        """The degraded run's Eq.-1 TLP / GPU utilization are exactly
+        the metrics of the salvaged prefix, recomputed — not scaled or
+        estimated from the full-window numbers."""
+        fault, seed = "dropped-switch-out", 1
+        run = run_app_once(create_app("chrome"), duration_us=DURATION,
+                           seed=SEED, fault=fault, fault_seed=seed,
+                           salvage=True)
+        bad = inject_fault(clean_run.trace, fault, seed=seed)
+        prefix = salvage_prefix(bad, N_LOGICAL)
+        expected_tlp = measure_tlp(
+            CpuUsagePreciseTable.from_trace(prefix.trace), N_LOGICAL,
+            processes=clean_run.process_names)
+        expected_gpu = measure_gpu_utilization(
+            GpuUtilizationTable.from_trace(prefix.trace),
+            processes=clean_run.process_names)
+        assert run.tlp.tlp == expected_tlp.tlp
+        assert run.tlp.fractions == expected_tlp.fractions
+        assert run.gpu_util.utilization_pct == expected_gpu.utilization_pct
+        assert run.salvage.cut_time == prefix.cut_time
+
+    def test_crash_salvage_keeps_partial_capture(self):
+        run = run_app_once(create_app("chrome"), duration_us=DURATION,
+                           seed=SEED, fault="worker-crash", salvage=True)
+        assert run.partial is True
+        assert run.salvage.reason == "crash"
+        assert "InjectedCrash" in run.salvage.detail
+        # The detonator fires at half the window.
+        assert run.salvage.salvaged_us == DURATION // 2
+        assert run.tlp.tlp > 0
+
+    def test_crash_without_salvage_propagates(self):
+        from repro.validate import InjectedCrash
+
+        with pytest.raises(InjectedCrash):
+            run_app_once(create_app("chrome"), duration_us=DURATION,
+                         seed=SEED, fault="worker-crash")
+
+
+class TestSessionAbort:
+    def test_abort_not_recording_is_none(self):
+        from repro.sim import Environment
+        from repro.trace import TraceSession
+
+        session = TraceSession(Environment())
+        assert session.abort() is None
+
+    def test_abort_while_recording_seals_trace(self):
+        from repro.sim import Environment
+        from repro.trace import TraceSession
+
+        env = Environment()
+        session = TraceSession(env)
+        session.start()
+        trace = session.abort()
+        assert trace is not None
+        assert session.recording is False
+        assert session.abort() is None

@@ -1,0 +1,296 @@
+"""Supervised execution: deadlines, retries, quarantine, checkpoint.
+
+These tests drive :class:`repro.harness.supervisor.SupervisedExecutor`
+through every failure mode in the taxonomy and prove the two headline
+properties: a failing grid point never takes the sweep down with it,
+and a resumed sweep is bit-identical to an uninterrupted one.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_spec,
+)
+from repro.harness.runner import SingleRun
+from repro.harness.supervisor import (
+    FAILURE_KINDS,
+    JOURNAL_FORMAT,
+    RunFailure,
+    SupervisedExecutor,
+    SweepJournal,
+    sweep_digest,
+)
+from repro.sim import SECOND
+from repro.validate import InjectedCrash, fingerprint_run
+
+SHORT = SECOND // 2
+
+
+def spec(name="chrome", seed=0, **overrides):
+    return make_spec(name, duration_us=SHORT, seed=seed, **overrides)
+
+
+class TestConstruction:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisedExecutor(retries=-1)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisedExecutor(deadline_s=0)
+
+    def test_journal_and_resume_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            SupervisedExecutor(journal=tmp_path / "a.jsonl",
+                               resume=tmp_path / "b.jsonl")
+
+    def test_journal_implies_cache(self, tmp_path):
+        executor = SupervisedExecutor(journal=tmp_path / "sweep.jsonl")
+        assert executor.cache is not None
+
+
+class TestCleanSweep:
+    def test_serial_matches_unsupervised(self):
+        specs = [spec(seed=s) for s in (0, 1, 2)]
+        supervised = SupervisedExecutor().map(specs)
+        plain = SerialExecutor().map(specs)
+        assert all(isinstance(r, SingleRun) for r in supervised)
+        assert [fingerprint_run(r) for r in supervised] == \
+            [fingerprint_run(r) for r in plain]
+
+    def test_pool_matches_serial(self):
+        specs = [spec(seed=s) for s in range(4)]
+        serial = SupervisedExecutor().map(specs)
+        pooled = SupervisedExecutor(jobs=2).map(specs)
+        assert [fingerprint_run(r) for r in pooled] == \
+            [fingerprint_run(r) for r in serial]
+
+
+class TestQuarantine:
+    def test_serial_crash_is_quarantined(self):
+        results = SupervisedExecutor().map(
+            [spec(seed=0), spec(seed=1, fault="worker-crash")])
+        assert isinstance(results[0], SingleRun)
+        failure = results[1]
+        assert isinstance(failure, RunFailure)
+        assert failure.kind == "crash"
+        assert failure.attempts == 1
+        assert "InjectedCrash" in failure.detail
+
+    def test_invalid_trace_classified(self):
+        executor = SupervisedExecutor()
+        results = executor.map(
+            [spec(seed=0, fault="timestamp-skew", validate=True)])
+        assert results[0].kind == "invalid-trace"
+        assert executor.failures == [results[0]]
+
+    def test_pool_crash_keeps_remote_traceback(self):
+        executor = SupervisedExecutor(jobs=2)
+        results = executor.map(
+            [spec(seed=0), spec(seed=1, fault="worker-crash")])
+        assert isinstance(results[0], SingleRun)
+        failure = results[1]
+        assert failure.kind == "crash"
+        assert "InjectedCrash" in failure.remote_traceback
+
+    def test_deadline_kills_hung_worker(self):
+        executor = SupervisedExecutor(jobs=2, deadline_s=1.0)
+        results = executor.map(
+            [spec(seed=0), spec(seed=1, fault="worker-hang")])
+        assert isinstance(results[0], SingleRun)
+        assert results[1].kind == "deadline"
+        assert "deadline" in results[1].detail
+
+    def test_deadline_forces_killable_worker_even_serial(self):
+        # jobs=None would run in-process, which cannot be killed; a
+        # deadline must force a one-worker pool.
+        executor = SupervisedExecutor(deadline_s=1.0)
+        results = executor.map([spec(seed=0, fault="worker-hang")])
+        assert results[0].kind == "deadline"
+
+    def test_every_kind_in_taxonomy(self):
+        assert FAILURE_KINDS == \
+            ("crash", "deadline", "invalid-trace", "cache-corrupt")
+
+
+class TestRetries:
+    def test_flaky_fault_heals_with_retries(self, tmp_path):
+        fault = f"flaky-crash:{tmp_path / 'strike'}"
+        executor = SupervisedExecutor(retries=2)
+        results = executor.map([spec(seed=0, fault=fault)])
+        assert isinstance(results[0], SingleRun)
+        assert executor.retried == 1
+        assert executor.failures == []
+
+    def test_flaky_fault_heals_in_pool(self, tmp_path):
+        fault = f"flaky-crash:{tmp_path / 'strike'}"
+        executor = SupervisedExecutor(jobs=2, retries=2)
+        results = executor.map([spec(seed=0), spec(seed=1, fault=fault)])
+        assert all(isinstance(r, SingleRun) for r in results)
+        assert executor.retried == 1
+
+    def test_persistent_fault_exhausts_budget(self):
+        executor = SupervisedExecutor(retries=2)
+        results = executor.map([spec(seed=0, fault="worker-crash")])
+        assert results[0].attempts == 3
+        assert executor.retried == 2
+
+    def test_backoff_is_deterministic(self):
+        a = SupervisedExecutor(retries=3, backoff_s=0.25, seed=7)
+        b = SupervisedExecutor(retries=3, backoff_s=0.25, seed=7)
+        c = SupervisedExecutor(retries=3, backoff_s=0.25, seed=8)
+        delays_a = [a._backoff_delay(4, n) for n in (1, 2, 3)]
+        delays_b = [b._backoff_delay(4, n) for n in (1, 2, 3)]
+        assert delays_a == delays_b
+        assert delays_a != [c._backoff_delay(4, n) for n in (1, 2, 3)]
+        # Exponential window with jitter in [0.5, 1.5) of the base.
+        for attempt, delay in enumerate(delays_a, start=1):
+            base = 0.25 * 2 ** (attempt - 1)
+            assert 0.5 * base <= delay < 1.5 * base
+
+
+class TestCacheCorruption:
+    def test_corrupt_entry_deleted_and_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        one = spec(seed=3)
+        first = SupervisedExecutor(cache=cache).map([one])[0]
+        key = cache.key_for(one)
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        cache2 = ResultCache(tmp_path / "cache")
+        executor = SupervisedExecutor(cache=cache2)
+        again = executor.map([one])[0]
+        assert isinstance(again, SingleRun)
+        assert fingerprint_run(again) == fingerprint_run(first)
+        assert cache2.corrupt == 1
+        # The bad file was deleted, then the recomputed result was
+        # stored back under the same key — the entry is healthy again.
+        status, _ = cache2.load_classified(key)
+        assert status == "hit"
+        incident, = executor.incidents
+        assert incident.kind == "cache-corrupt"
+        assert executor.failures == []  # non-fatal: recomputed
+
+    def test_clean_cache_hit_skips_execution(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        one = spec(seed=3)
+        SupervisedExecutor(cache=cache).map([one])
+        executor = SupervisedExecutor(cache=cache)
+        executor.map([one])
+        assert executor.executed == 0
+
+
+class TestJournal:
+    def test_header_and_entries(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        specs = [spec(seed=s) for s in (0, 1)]
+        SupervisedExecutor(journal=path).map(specs)
+        lines = [json.loads(line) for line in
+                 path.read_text().splitlines()]
+        assert lines[0]["format"] == JOURNAL_FORMAT
+        assert lines[0]["total"] == 2
+        statuses = {entry["index"]: entry["status"] for entry in lines[1:]}
+        assert statuses == {0: "ok", 1: "ok"}
+
+    def test_failure_recorded(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        SupervisedExecutor(journal=path).map(
+            [spec(seed=0, fault="worker-crash")])
+        entry = json.loads(path.read_text().splitlines()[-1])
+        assert entry["status"] == "failed"
+        assert entry["failure"]["kind"] == "crash"
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        SupervisedExecutor(journal=path).map([spec(seed=0)])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"index": 9, "stat')  # killed mid-write
+        header, entries = SweepJournal.load(path)
+        assert header["total"] == 1
+        assert 9 not in entries
+
+    def test_corrupt_interior_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"format": JOURNAL_FORMAT, "digest": "d",
+                        "total": 1}) + "\nnot json\n"
+            + json.dumps({"index": 0, "key": None, "status": "ok"}) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            SweepJournal.load(path)
+
+    def test_not_a_journal_rejected(self, tmp_path):
+        path = tmp_path / "noise.jsonl"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(ValueError, match="not a sweep journal"):
+            SweepJournal.load(path)
+
+
+class TestResume:
+    def _interrupt_after(self, path, keep):
+        """Simulate a kill: keep the header plus ``keep`` run lines,
+        and drop the corresponding cache entries for the rest."""
+        lines = path.read_text().splitlines()
+        kept, dropped_keys = lines[: 1 + keep], []
+        for line in lines[1 + keep:]:
+            dropped_keys.append(json.loads(line)["key"])
+        path.write_text("\n".join(kept) + "\n")
+        cache = ResultCache(str(path) + ".cache")
+        for key in dropped_keys:
+            cache.invalidate(key)
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        specs = [spec(seed=s) for s in range(4)]
+        baseline = SupervisedExecutor(journal=path).map(specs)
+        self._interrupt_after(path, keep=2)
+
+        executor = SupervisedExecutor(resume=path)
+        resumed = executor.map(specs)
+        assert executor.resumed == 2
+        assert executor.executed == 2
+        assert [fingerprint_run(r) for r in resumed] == \
+            [fingerprint_run(r) for r in baseline]
+        # The journal is now complete again.
+        _, entries = SweepJournal.load(path)
+        assert sorted(entries) == [0, 1, 2, 3]
+
+    def test_failed_entries_get_a_fresh_chance(self, tmp_path):
+        # A one-shot flaky fault quarantines the run on the first
+        # sweep; the strike file is consumed, so the resumed sweep
+        # re-runs it and it completes clean.
+        path = tmp_path / "sweep.jsonl"
+        fault = f"flaky-crash:{tmp_path / 'strike'}"
+        specs = [spec(seed=0), spec(seed=1, fault=fault)]
+        first = SupervisedExecutor(journal=path).map(specs)
+        assert isinstance(first[1], RunFailure)
+
+        executor = SupervisedExecutor(resume=path)
+        resumed = executor.map(specs)
+        assert isinstance(resumed[1], SingleRun)
+        assert executor.failures == []
+
+    def test_wrong_journal_refused(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        SupervisedExecutor(journal=path).map([spec(seed=0)])
+        with pytest.raises(ValueError, match="different sweep"):
+            SupervisedExecutor(resume=path).map([spec(seed=99)])
+
+    def test_digest_covers_order(self):
+        assert sweep_digest(["a", "b"]) != sweep_digest(["b", "a"])
+        assert sweep_digest([None, "a"]) != sweep_digest(["a", None])
+
+
+class TestParallelExecutorHardening:
+    def test_worker_exception_carries_remote_traceback(self):
+        executor = ParallelExecutor(jobs=2)
+        with pytest.raises(InjectedCrash) as excinfo:
+            executor.map([spec(seed=0, fault="worker-crash"),
+                          spec(seed=1)])
+        assert "InjectedCrash" in getattr(
+            excinfo.value, "remote_traceback", "")
