@@ -1,0 +1,235 @@
+"""Perf — the per-run hot path over the 150-run golden grid.
+
+Replays the golden fingerprint grid (30 apps x 5 machine configs, one
+simulated second each, seed 2019) under the hot-path modes this repo
+grew — vectorized sweep kernels (``REPRO_KERNEL``), epoch-partitioned
+simulation (``REPRO_EPOCH``) and shared-memory result transport
+(``REPRO_TRANSPORT``) — and records grid events/s per mode to
+``BENCH_hotpath.json``.
+
+Methodology (single-core containers are noisy):
+
+* The event count is taken once from an untimed ``keep_trace`` pass —
+  records are deterministic and identical across modes, so every mode
+  divides the same numerator.
+* Timed passes are *interleaved* round-robin across modes and the best
+  of R rounds is kept, so CPU frequency drift cannot masquerade as a
+  mode difference.
+* Bit-identity is asserted against the committed goldens for every
+  mode (serial scalar, serial vectorized, pool + shared memory,
+  streaming) — a fast mode that changes one bit of one metric fails
+  here before any throughput number is reported.
+
+Assertions follow the repo's honesty convention (``bench_perf_
+executor``): the headline >= 2x events/s criterion is asserted where
+it can physically hold — pool mode with >= 4 usable CPUs; on fewer
+CPUs the serial hot path must simply never regress below the serial
+scalar baseline (with a small noise allowance), and the measured
+numbers are recorded as-is.  ``REPRO_BENCH_QUICK=1`` shrinks the grid
+for CI smoke runs; the no-regression check still applies there.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.harness.executor import ParallelExecutor, SerialExecutor, execute_spec
+from repro.harness.executor import default_jobs
+from repro.harness.transport import TRANSPORT_ENV, shm_available
+from repro.metrics.kernels import KERNEL_ENV, numpy_available
+from repro.sim.environment import EPOCH_ENV
+from repro.validate.golden import (
+    GOLDEN_CONFIGS,
+    compute_fingerprints,
+    config_id,
+    golden_spec,
+    load_goldens,
+)
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+APPS = (("handbrake", "photoshop", "chrome", "vlc", "excel", "wineth")
+        if QUICK else None)  # None = the full 30-app suite
+CONFIGS = ((4, True), (12, True)) if QUICK else GOLDEN_CONFIGS
+REPEATS = 5 if QUICK else 3
+#: No-regression gate: quick grids finish in tens of milliseconds
+#: where timer jitter alone is >10%, so the smoke gate is wider.
+NOISE_ALLOWANCE = 1.25 if QUICK else 1.05
+JOBS = 4
+
+BENCH_JSON = (pathlib.Path(__file__).resolve().parent.parent
+              / "BENCH_hotpath.json")
+
+#: Golden-grid wall time measured from a ``git worktree`` of the
+#: pre-PR commit on this container (best of interleaved rounds, serial
+#: — the pre-PR tree has neither kernels, epochs nor transports).
+PRE_PR_REFERENCE = {"commit": "d3aeb89", "grid_wall_s": 0.987}
+
+#: Mode name -> (environment selection, executor factory).
+MODES = {
+    "serial-scalar": ({EPOCH_ENV: "legacy", KERNEL_ENV: "scalar",
+                       TRANSPORT_ENV: "pickle"},
+                      lambda: SerialExecutor()),
+    "serial-hotpath": ({EPOCH_ENV: "auto", KERNEL_ENV: "vector",
+                        TRANSPORT_ENV: "pickle"},
+                       lambda: SerialExecutor()),
+    "pool-shm": ({EPOCH_ENV: "auto", KERNEL_ENV: "vector",
+                  TRANSPORT_ENV: "shm"},
+                 lambda: ParallelExecutor(jobs=JOBS)),
+}
+
+_HOTPATH_VARS = (EPOCH_ENV, KERNEL_ENV, TRANSPORT_ENV)
+
+
+def _suite_apps():
+    if APPS is not None:
+        return APPS
+    from repro.apps import SUITE
+
+    return SUITE
+
+
+def _grid_specs(apps):
+    return [golden_spec(app, cores, smt)
+            for app in apps for cores, smt in CONFIGS]
+
+
+class _env_modes:
+    """Temporarily pin the hot-path environment selection."""
+
+    def __init__(self, selection):
+        self.selection = selection
+        self.saved = {}
+
+    def __enter__(self):
+        for var in _HOTPATH_VARS:
+            self.saved[var] = os.environ.get(var)
+            os.environ.pop(var, None)
+        os.environ.update(self.selection)
+
+    def __exit__(self, *exc):
+        for var, value in self.saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+
+
+def count_grid_events(apps):
+    """Total trace records of one grid pass (mode-invariant)."""
+    total = 0
+    for spec in _grid_specs(apps):
+        spec.kwargs["keep_trace"] = True
+        run = execute_spec(spec)
+        total += (len(run.trace.cswitches) + len(run.trace.gpu_packets)
+                  + len(run.frames) + len(run.marks))
+    return total
+
+
+def timed_grid_pass(apps, selection, make_executor):
+    specs = _grid_specs(apps)
+    with _env_modes(selection):
+        t0 = time.perf_counter()
+        make_executor().map(specs)
+        return time.perf_counter() - t0
+
+
+def check_fingerprints(apps, goldens, selection, jobs=None,
+                       streaming=False):
+    """Assert every grid fingerprint matches the committed goldens."""
+    with _env_modes(selection):
+        actual = compute_fingerprints(apps, configs=CONFIGS, jobs=jobs,
+                                      streaming=streaming)
+    for app in apps:
+        for cores, smt in CONFIGS:
+            cid = config_id(cores, smt)
+            assert actual[app][cid]["digest"] == \
+                goldens[app][cid]["digest"], (app, cid, selection)
+
+
+def run_measurement():
+    apps = _suite_apps()
+    goldens = load_goldens()
+    events = count_grid_events(apps)
+
+    walls = {mode: float("inf") for mode in MODES}
+    for _ in range(REPEATS):
+        for mode, (selection, factory) in MODES.items():
+            walls[mode] = min(walls[mode],
+                              timed_grid_pass(apps, selection, factory))
+
+    # Bit-identity across every mode, including streaming (which has
+    # no wall-time story here — it exists to be cross-checked).
+    scalar_sel, _ = MODES["serial-scalar"]
+    hot_sel, _ = MODES["serial-hotpath"]
+    shm_sel, _ = MODES["pool-shm"]
+    check_fingerprints(apps, goldens, scalar_sel)
+    check_fingerprints(apps, goldens, hot_sel)
+    check_fingerprints(apps, goldens, shm_sel, jobs=2)
+    check_fingerprints(apps, goldens, hot_sel, streaming=True)
+    return apps, events, walls
+
+
+def test_hotpath(experiment, report):
+    apps, events, walls = experiment(run_measurement)
+
+    cpus = default_jobs()
+    rates = {mode: events / wall for mode, wall in walls.items()}
+    base = rates["serial-scalar"]
+    payload = {
+        "benchmark": "hotpath",
+        "quick": QUICK,
+        "grid_points": len(apps) * len(CONFIGS),
+        "grid_events": events,
+        "repeats": REPEATS,
+        "jobs": JOBS,
+        "usable_cpus": cpus,
+        "numpy": numpy_available(),
+        "shm": shm_available(),
+        "wall_s": {m: round(w, 3) for m, w in walls.items()},
+        "events_per_s": {m: int(r) for m, r in rates.items()},
+        "speedup_vs_serial_scalar": {
+            m: round(r / base, 2) for m, r in rates.items()},
+        "pre_pr_reference": PRE_PR_REFERENCE,
+        "bit_identical_modes": ["serial-scalar", "serial-hotpath",
+                                "pool-shm", "streaming"],
+    }
+    if not QUICK:
+        # Quick CI smokes measure a 12-point grid; only the full run
+        # updates the committed artifact.
+        BENCH_JSON.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    lines = [
+        "Perf — per-run hot path over the golden grid",
+        "",
+        f"grid      : {len(apps)} apps x {len(CONFIGS)} configs "
+        f"({len(apps) * len(CONFIGS)} runs, {events} events)"
+        + ("  [quick]" if QUICK else ""),
+    ]
+    for mode in MODES:
+        lines.append(f"{mode:15s}: {walls[mode]:7.3f} s wall, "
+                     f"{rates[mode]:12,.0f} events/s "
+                     f"({rates[mode] / base:4.2f}x)")
+    lines += [
+        f"usable CPUs    : {cpus} (pool jobs={JOBS})",
+        "fingerprints   : bit-identical to committed goldens in every "
+        "mode (asserted)",
+    ]
+    report("perf_hotpath", "\n".join(lines))
+
+    # The serial hot path must never lose to the serial scalar
+    # baseline (modulo timer noise) — this is the CI regression gate.
+    assert walls["serial-hotpath"] <= \
+        walls["serial-scalar"] * NOISE_ALLOWANCE, (
+        f"serial hot path regressed: {walls['serial-hotpath']:.3f}s vs "
+        f"scalar baseline {walls['serial-scalar']:.3f}s")
+
+    # The headline >2x events/s criterion needs real parallel hardware
+    # under the pool — asserted where it can hold, recorded honestly
+    # everywhere (same convention as bench_perf_executor).
+    if cpus >= JOBS and not QUICK:
+        assert rates["pool-shm"] > 2.0 * base, (
+            f"expected >2x grid events/s from the pooled hot path on "
+            f"{cpus} CPUs, got {rates['pool-shm'] / base:.2f}x")

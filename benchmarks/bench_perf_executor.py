@@ -5,6 +5,15 @@ the serial backend and with a 4-worker process pool, asserts the
 parallel results are bit-identical, and records the wall-clock numbers
 to ``BENCH_executor.json`` so later PRs have a perf trajectory.
 
+A second measurement splits one worker's run into its phases —
+*compute* (the simulation itself) vs *result transfer* (getting the
+finished ``SingleRun`` back to the parent) — for both transports: the
+legacy pickle round-trip and the shared-memory segment layout of
+:mod:`repro.harness.transport`.  Alongside the times it records the
+bytes each transport pushes through the worker pipe: pickle ships the
+whole payload, shm ships a ~100-byte handle while the column buffers
+cross as one ``memoryview`` copy into the segment.
+
 The >= 2x speedup assertion only applies on machines with >= 4 usable
 CPUs — on a single-core container a process pool cannot beat serial
 execution, and the run records that honestly instead of lying with a
@@ -13,16 +22,19 @@ skipped measurement.
 
 import json
 import pathlib
+import pickle
 import time
 
 from repro.harness import run_suite
-from repro.harness.executor import default_jobs
+from repro.harness.executor import default_jobs, execute_spec, make_spec
+from repro.harness.transport import decode_result, encode_result, shm_available
 from repro.sim import SECOND
 
 APPS = ("handbrake", "photoshop", "chrome", "vlc", "excel", "wineth")
 ITERATIONS = 3
 DURATION = 10 * SECOND
 JOBS = 4
+TRANSFER_REPEATS = 5
 
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_executor.json"
 
@@ -39,6 +51,42 @@ def run_measurement():
     return serial, parallel, t_serial, t_parallel
 
 
+def measure_phases():
+    """Per-phase timing of one worker unit: compute vs transfer.
+
+    Uses a trace-carrying run (the heavy payload) so the transports
+    are compared on the case that motivated shared memory; best-of-R
+    on the transfer round-trips, which are short enough to be noisy.
+    """
+    spec = make_spec("chrome", duration_us=DURATION, seed=2019,
+                     keep_trace=True)
+    t0 = time.perf_counter()
+    run = execute_spec(spec)
+    t_compute = time.perf_counter() - t0
+
+    blob = pickle.dumps(run, protocol=pickle.HIGHEST_PROTOCOL)
+    t_pickle = min_over(TRANSFER_REPEATS, lambda: pickle.loads(
+        pickle.dumps(run, protocol=pickle.HIGHEST_PROTOCOL)))
+    probe = encode_result(run) if shm_available() else None
+    if probe is None:
+        return t_compute, t_pickle, 0.0, len(blob), 0
+    handle_bytes = len(pickle.dumps(probe,
+                                    protocol=pickle.HIGHEST_PROTOCOL))
+    decode_result(probe)  # consume the probe segment (decode unlinks)
+    t_shm = min_over(TRANSFER_REPEATS,
+                     lambda: decode_result(encode_result(run)))
+    return t_compute, t_pickle, t_shm, len(blob), handle_bytes
+
+
+def min_over(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 def test_perf_executor(experiment, report):
     serial, parallel, t_serial, t_parallel = experiment(run_measurement)
 
@@ -48,6 +96,9 @@ def test_perf_executor(experiment, report):
         assert serial.results[name].tlp == parallel.results[name].tlp, name
         assert serial.results[name].gpu_util == \
             parallel.results[name].gpu_util, name
+
+    t_compute, t_pickle, t_shm, pickle_bytes, handle_bytes = \
+        measure_phases()
 
     speedup = t_serial / t_parallel if t_parallel > 0 else 0.0
     cpus = default_jobs()
@@ -62,6 +113,15 @@ def test_perf_executor(experiment, report):
         "wall_parallel_s": round(t_parallel, 3),
         "speedup": round(speedup, 2),
         "bit_identical": True,
+        "phases": {
+            "compute_s": round(t_compute, 4),
+            "transfer_pickle_s": round(t_pickle, 4),
+            "transfer_shm_s": round(t_shm, 4),
+            "pipe_bytes_pickle": pickle_bytes,
+            "pipe_bytes_shm": handle_bytes,
+            "pickle_share_of_unit_pct": round(
+                100 * t_pickle / (t_compute + t_pickle), 1),
+        },
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                           encoding="utf-8")
@@ -76,6 +136,14 @@ def test_perf_executor(experiment, report):
         f"{cpus} usable CPUs)",
         f"speedup   : {speedup:7.2f} x",
         "results   : bit-identical to serial (asserted)",
+        "",
+        "per-phase (one trace-carrying worker unit):",
+        f"compute          : {t_compute:8.4f} s",
+        f"transfer (pickle): {t_pickle:8.4f} s, "
+        f"{pickle_bytes:,} B through the pipe "
+        f"({100 * t_pickle / (t_compute + t_pickle):.1f}% of the unit)",
+        f"transfer (shm)   : {t_shm:8.4f} s, "
+        f"{handle_bytes:,} B through the pipe",
     ]
     report("perf_executor", "\n".join(lines))
 

@@ -89,13 +89,20 @@ class SyncOp:
 class ShadowEnv:
     """Stand-in for :class:`~repro.sim.Environment` that never runs.
 
-    ``schedule`` only counts — events still become *triggered*
+    Scheduling only accumulates — events still become *triggered*
     synchronously inside ``succeed()``, which is all the sync
-    primitives and the shadow driver need.
+    primitives and the shadow driver need.  The event fast paths
+    (``Event.succeed``, ``Timeout.__init__``) push straight onto
+    ``_queue`` without calling :meth:`schedule`, so the double exposes
+    the same structural fields as the real environment; the queue is
+    never drained here.
     """
 
     def __init__(self):
         self.now = 0
+        self._now = 0
+        self._eid = 0
+        self._queue = []
         self.scheduled = 0
 
     def schedule(self, event, priority=1, delay=0):

@@ -87,6 +87,7 @@ class GpuEngine:
     def _run(self):
         env = self.device.env
         session = self.device.session
+        epoch = env.epoch
         while True:
             while not self._high and not self._normal:
                 self._wakeup = env.event()
@@ -95,14 +96,18 @@ class GpuEngine:
                       else self._normal.popleft())
             gap, service = self.device.service_profile(
                 packet.packet_type, packet.work_ref_us)
-            if gap:
+            # Engine processes are never interrupted, so both waits may
+            # take the epoch virtual-clock skip (Environment.advance)
+            # when nothing else would run before they fire.
+            if gap and not (epoch and env.advance(gap)):
                 yield env.timeout(gap)
             start = env.now
             # Occupancy edges bracket packet execution for streaming
             # consumers (guarded so untraced runs pay nothing).
             if session.subscribers:
                 session.emit_engine_busy(packet.process_name, self.name)
-            yield env.timeout(service)
+            if not (epoch and env.advance(service)):
+                yield env.timeout(service)
             self.busy_us += service
             self.packets_executed += 1
             if session.subscribers:

@@ -20,8 +20,16 @@ Design points:
 * **Code version.**  Every key includes ``repro.__version__``;
   bumping the package version invalidates the whole cache rather
   than risking stale physics.
-* **Corruption fallback.**  An unreadable or truncated entry counts
-  as a miss; the bad file is removed and the result recomputed.
+* **Framed entries.**  Each file is ``[magic][payload length][CRC-32]
+  [pickled result]``.  The frame is checked *before* any byte reaches
+  the unpickler: a truncated write, a disk flip or a foreign file
+  fails the cheap integrity check up front instead of relying on the
+  pickle stream to happen to break — a truncated pickle can unpickle
+  "successfully" to a wrong object, and a hostile one executes code.
+* **Corruption fallback.**  An entry failing the frame check (or the
+  unpickling after it) counts as a miss; the bad file is removed and
+  the result recomputed, surfacing as a ``cache-corrupt`` incident
+  under the supervised executor.
 * **Atomic writes.**  Entries are written to a temp file and
   ``os.replace``d so concurrent writers (parallel executors of two
   campaigns) never expose half-written results.
@@ -32,7 +40,9 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 import tempfile
+import zlib
 from dataclasses import fields, is_dataclass
 from pathlib import Path
 
@@ -40,6 +50,12 @@ import repro
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Entry frame: magic, pickled-payload length, CRC-32 of the payload.
+#: The magic's trailing digit is the frame version — bump it when the
+#: layout changes so older readers reject newer files cleanly.
+CACHE_MAGIC = b"RPROCHE1"
+_FRAME = struct.Struct("<8sQI")
 
 
 def default_cache_dir():
@@ -141,21 +157,37 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
-                result = pickle.load(fh)
+                blob = fh.read()
         except FileNotFoundError:
             self.misses += 1
             return ("miss", None)
         except Exception:
-            # Corrupt or unreadable entry: drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            self.misses += 1
-            self.corrupt += 1
-            return ("corrupt", None)
+            return self._corrupt(path)
+        # Integrity gate: no byte reaches the unpickler until the
+        # frame (magic, exact length, checksum) vouches for it.
+        if len(blob) < _FRAME.size:
+            return self._corrupt(path)
+        magic, length, crc = _FRAME.unpack_from(blob)
+        payload = blob[_FRAME.size:]
+        if (magic != CACHE_MAGIC or len(payload) != length
+                or zlib.crc32(payload) != crc):
+            return self._corrupt(path)
+        try:
+            result = pickle.loads(payload)
+        except Exception:
+            return self._corrupt(path)
         self.hits += 1
         return ("hit", (result,))
+
+    def _corrupt(self, path):
+        """Drop a failed entry and classify the load as corrupt."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.misses += 1
+        self.corrupt += 1
+        return ("corrupt", None)
 
     def invalidate(self, key):
         """Drop the entry for ``key`` (reuse-time validation failed)."""
@@ -175,7 +207,11 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh)
+                payload = pickle.dumps(result,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_FRAME.pack(CACHE_MAGIC, len(payload),
+                                     zlib.crc32(payload)))
+                fh.write(payload)
             os.replace(tmp, path)
         except Exception:
             try:

@@ -115,6 +115,16 @@ def execute_spec(spec):
     return run_app_once(app, **spec.kwargs)
 
 
+def execute_spec_transported(spec):
+    """Pool-worker entry point: run the spec, then hand the result to
+    the configured transport (:mod:`repro.harness.transport`) — a
+    shared-memory handle under ``REPRO_TRANSPORT=shm``/``auto``, the
+    plain (pickled) result otherwise."""
+    from repro.harness.transport import encode_for_pipe
+
+    return encode_for_pipe(execute_spec(spec))
+
+
 def default_jobs():
     """Worker count for ``jobs=0`` (auto): the usable CPU count."""
     try:
@@ -218,13 +228,17 @@ class ParallelExecutor(_CachingExecutor):
         if len(remote) == 1:
             local.append(remote.pop())
         if remote:
+            from repro.harness.transport import decode_from_pipe
+
             pool = _ProcessPool(max_workers=min(self.jobs, len(remote)))
+            futures = []
             try:
-                futures = [(i, pool.submit(execute_spec, specs[i]))
+                futures = [(i, pool.submit(execute_spec_transported,
+                                           specs[i]))
                            for i in remote]
                 for i, future in futures:
                     try:
-                        results[i] = future.result()
+                        results[i] = decode_from_pipe(future.result())
                     except Exception as exc:
                         # The pool re-raises worker exceptions with the
                         # remote traceback only as a chained cause that
@@ -238,6 +252,19 @@ class ParallelExecutor(_CachingExecutor):
                 # KeyboardInterrupt or a worker failure: drop queued
                 # work and do not block on stragglers — callers (the
                 # supervisor journal above us) need control back now.
+                # Results that already completed but will never be
+                # consumed are unlinked so their shared-memory
+                # segments do not outlive the sweep.
+                from repro.harness.transport import ShmHandle, discard_result
+
+                for _i, future in futures:
+                    if future.done() and not future.cancelled():
+                        try:
+                            payload = future.result()
+                        except Exception:
+                            continue
+                        if isinstance(payload, ShmHandle):
+                            discard_result(payload)
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
             pool.shutdown(wait=True)

@@ -57,6 +57,12 @@ from repro.harness.executor import (
     default_jobs,
     execute_spec,
 )
+from repro.harness.transport import (
+    decode_from_pipe,
+    discard_result,
+    encode_for_pipe,
+    ShmHandle,
+)
 
 #: The complete failure taxonomy, in the order the docs present it.
 FAILURE_KINDS = ("crash", "deadline", "invalid-trace", "cache-corrupt")
@@ -192,6 +198,11 @@ def _worker_main(conn):
     class may not unpickle in the parent); they cross as ``(index,
     "err", type name, message, formatted traceback)`` tuples, which is
     also what preserves the *worker-side* traceback for reporting.
+
+    Results cross either directly (pickle channel) or as a
+    :class:`~repro.harness.transport.ShmHandle` naming a shared-memory
+    segment the run was laid out in columnar form
+    (``REPRO_TRANSPORT``); the parent's reap path decodes both.
     """
     while True:
         try:
@@ -202,7 +213,7 @@ def _worker_main(conn):
             return
         index, spec = job
         try:
-            payload = (index, "ok", execute_spec(spec))
+            payload = (index, "ok", encode_for_pipe(execute_spec(spec)))
         except KeyboardInterrupt:
             return
         except BaseException as exc:
@@ -524,7 +535,20 @@ class SupervisedExecutor:
         worker.job = None
         self.executed += 1
         if message[1] == "ok":
-            self._complete(specs, keys, index, message[2], results,
+            try:
+                result = decode_from_pipe(message[2])
+            except Exception as exc:
+                # The segment vanished or would not decode: treat it
+                # like any other failed attempt (retry, then
+                # quarantine) rather than crashing the sweep.
+                if self._retry(index, attempt, queue):
+                    return 0
+                self._fail(specs, keys, index, "crash", attempt,
+                           f"result transport failed: "
+                           f"{type(exc).__name__}: {exc}",
+                           results, journal, tb=traceback.format_exc())
+                return 1
+            self._complete(specs, keys, index, result, results,
                            journal)
             return 1
         _, _, exc_name, exc_message, remote_tb = message
@@ -540,6 +564,16 @@ class SupervisedExecutor:
     def _expire(self, specs, keys, worker, results, journal, queue):
         """Kill a worker that blew its deadline; retry or quarantine."""
         index, attempt, _ = worker.job
+        # The run may have finished in the race window between the
+        # deadline check and now; drain the pipe so a shared-memory
+        # result that will never be decoded is unlinked, not leaked.
+        try:
+            while worker.conn.poll(0):
+                message = worker.conn.recv()
+                if message[1] == "ok" and isinstance(message[2], ShmHandle):
+                    discard_result(message[2])
+        except (EOFError, OSError):
+            pass
         worker.respawn()
         self.executed += 1
         if self._retry(index, attempt, queue):

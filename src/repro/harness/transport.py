@@ -1,0 +1,296 @@
+"""Zero-copy columnar result transport between worker and parent.
+
+Both process backends (the futures pool in
+:mod:`repro.harness.executor` and the supervised pipe workers in
+:mod:`repro.harness.supervisor`) ship each finished
+:class:`~repro.harness.runner.SingleRun` back to the parent.  The
+default channel is a pipe, which means the whole result — including a
+retained trace's column stores — is pickled, chunked through the pipe
+and re-materialized on the other side.
+
+This module replaces that with a :mod:`multiprocessing.shared_memory`
+segment per result.  The worker lays the run out as::
+
+    [8-byte meta length][pickled metadata][raw column buffers ...]
+
+where the metadata holds the small parts of the run (metrics, name
+tables, layout descriptors) and every columnar ``array('q')`` buffer
+of a retained trace is written as raw bytes — one ``memoryview`` copy
+into the segment, no per-record pickling.  Only the tiny
+:class:`ShmHandle` crosses the pipe; the parent maps the segment,
+rebuilds the stores with bulk ``frombytes`` copies and unlinks it.
+
+Selection is via the ``REPRO_TRANSPORT`` environment variable (or the
+``--transport`` CLI flag, which sets it): ``auto`` (default) and
+``shm`` use shared memory when the platform provides it, ``pickle``
+forces the legacy pipe payloads.  Encoding falls back to the pickle
+channel transparently whenever a result cannot be laid out (no shared
+memory support, unpicklable metadata), so the transport is never a
+correctness risk — results are bit-identical either way, which the
+pool equivalence tests pin.
+
+Lifecycle notes: this interpreter's ``resource_tracker`` registers a
+segment on *attach* as well as on create, and would unlink segments
+still in flight when the registering process exits.  Ownership is
+therefore explicit: the worker creates, unregisters (its tracker must
+not reap a segment the parent has yet to read) and closes; the parent
+attaches, decodes, closes and unlinks — ``unlink`` balances the
+attach-side registration itself, and it runs even on a failed decode,
+so a bad segment cannot leak.
+"""
+
+import os
+import pickle
+import struct
+from array import array
+from dataclasses import dataclass, replace
+
+try:
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - shared_memory ships with 3.8+
+    _resource_tracker = None
+    _shared_memory = None
+
+#: Environment switch for the result transport.
+TRANSPORT_ENV = "REPRO_TRANSPORT"
+TRANSPORT_CHOICES = ("auto", "shm", "pickle")
+
+_LENGTH = struct.Struct("<Q")
+
+
+def shm_available():
+    """True when shared-memory segments can be created here."""
+    return _shared_memory is not None
+
+
+def transport_backend(override=None):
+    """Resolve the transport selection to ``"shm"`` or ``"pickle"``."""
+    value = override if override is not None else os.environ.get(
+        TRANSPORT_ENV, "auto")
+    value = value.strip().lower()
+    if value not in TRANSPORT_CHOICES:
+        raise ValueError(
+            f"unknown transport {value!r}; choose from {TRANSPORT_CHOICES}")
+    if value == "pickle":
+        return "pickle"
+    return "shm" if shm_available() else "pickle"
+
+
+def shm_enabled(override=None):
+    """True when results should cross via shared memory."""
+    return transport_backend(override) == "shm"
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """The picklable token that crosses the pipe instead of the run."""
+
+    name: str
+    size: int
+
+
+def _unregister(segment):
+    """Detach ``segment`` from the resource tracker (manual ownership).
+
+    Uses the segment's internal name — on POSIX that carries a leading
+    slash the public ``name`` property strips, and the tracker knows
+    it only under the internal form.
+    """
+    if _resource_tracker is not None:
+        try:
+            _resource_tracker.unregister(
+                getattr(segment, "_name", segment.name), "shared_memory")
+        except Exception:  # pragma: no cover - tracker variants differ
+            pass
+
+
+def _store_payload(store):
+    """``(descriptor, buffers)`` of one column store.
+
+    The descriptor carries the store's class, its name tables (small
+    Python lists, pickled with the metadata) and the typecode/length
+    of each array column; ``buffers`` holds the columns' raw bytes in
+    descriptor order.
+    """
+    from repro.trace.columns import NameTable
+
+    columns = []
+    names = {}
+    buffers = []
+    for attr in type(store).__slots__:
+        value = getattr(store, attr)
+        if isinstance(value, array):
+            view = memoryview(value).cast("B")
+            columns.append((attr, value.typecode, len(view)))
+            buffers.append(view)
+        elif isinstance(value, NameTable):
+            names[attr] = list(value.names)
+    return {
+        "class": type(store).__name__,
+        "columns": columns,
+        "names": names,
+    }, buffers
+
+
+def _rebuild_store(descriptor, buf, offset):
+    """Reconstruct a column store from its descriptor and segment."""
+    from repro.trace import columns as _columns
+
+    store = getattr(_columns, descriptor["class"])()
+    for attr, name_list in descriptor["names"].items():
+        table = getattr(store, attr)
+        table.names = list(name_list)
+        table._ids = {name: i for i, name in enumerate(name_list)}
+    for attr, typecode, nbytes in descriptor["columns"]:
+        column = array(typecode)
+        column.frombytes(buf[offset:offset + nbytes])
+        setattr(store, attr, column)
+        offset += nbytes
+    return store, offset
+
+
+def _columnar_groups(trace):
+    """``{group: store}`` of a trace's still-columnar record groups."""
+    from repro.trace.columns import _ColumnStore
+
+    return {group: source
+            for group, source in trace._sources.items()
+            if isinstance(source, _ColumnStore)
+            and group not in trace._materialized}
+
+
+def encode_result(run):
+    """Lay ``run`` out in a fresh shared-memory segment.
+
+    Returns the :class:`ShmHandle` to send across the pipe, or
+    ``None`` when the result should take the pickle channel instead
+    (no shared-memory support, or the run resists pickling).  The
+    caller owns nothing: the segment is closed worker-side and the
+    parent's :func:`decode_result` unlinks it.
+    """
+    if _shared_memory is None:
+        return None
+    trace = getattr(run, "trace", None)
+    descriptors = []
+    buffers = []
+    trace_meta = None
+    core = run
+    if trace is not None:
+        groups = _columnar_groups(trace)
+        if groups:
+            for group, store in sorted(groups.items()):
+                descriptor, store_buffers = _store_payload(store)
+                descriptor["group"] = group
+                descriptors.append(descriptor)
+                buffers.extend(store_buffers)
+            trace_meta = {
+                "start_time": trace.start_time,
+                "stop_time": trace.stop_time,
+                "machine_name": trace.machine_name,
+                "plain": {group: trace._group(group)
+                          for group in trace._sources
+                          if group not in groups},
+            }
+            # The tables are views over the same stores; rebuilt from
+            # the reconstructed trace on the other side.
+            core = replace(run, trace=None, cpu_table=None, gpu_table=None)
+    try:
+        meta = pickle.dumps((core, trace_meta, descriptors),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+    payload = sum(len(view) for view in buffers)
+    total = _LENGTH.size + len(meta) + payload
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=total)
+    except Exception:  # pragma: no cover - e.g. /dev/shm unavailable
+        return None
+    try:
+        _unregister(segment)
+        buf = segment.buf
+        buf[:_LENGTH.size] = _LENGTH.pack(len(meta))
+        offset = _LENGTH.size
+        buf[offset:offset + len(meta)] = meta
+        offset += len(meta)
+        for view in buffers:
+            buf[offset:offset + len(view)] = view
+            offset += len(view)
+        return ShmHandle(name=segment.name, size=total)
+    finally:
+        segment.close()
+
+
+def decode_result(handle):
+    """Rebuild the run from ``handle``'s segment and unlink it.
+
+    The segment is consumed: it is unlinked whether or not decoding
+    succeeds, so a failed decode cannot leak shared memory.
+    """
+    from repro.trace.etl import EtlTrace
+
+    # Attaching registers with the resource tracker; the unlink below
+    # unregisters, so no manual bookkeeping is needed on this side.
+    segment = _shared_memory.SharedMemory(name=handle.name)
+    try:
+        buf = segment.buf
+        (meta_len,) = _LENGTH.unpack(buf[:_LENGTH.size])
+        offset = _LENGTH.size
+        core, trace_meta, descriptors = pickle.loads(
+            buf[offset:offset + meta_len])
+        offset += meta_len
+        if trace_meta is None:
+            return core
+        groups = dict(trace_meta["plain"])
+        for descriptor in descriptors:
+            store, offset = _rebuild_store(descriptor, buf, offset)
+            groups[descriptor["group"]] = store
+        trace = EtlTrace(
+            trace_meta["start_time"], trace_meta["stop_time"],
+            machine_name=trace_meta["machine_name"], **groups)
+        run = replace(core, trace=trace)
+        if getattr(core, "cpu_table", True) is None:
+            from repro.trace import CpuUsagePreciseTable, GpuUtilizationTable
+
+            run = replace(run,
+                          cpu_table=CpuUsagePreciseTable.from_trace(trace),
+                          gpu_table=GpuUtilizationTable.from_trace(trace))
+        return run
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - double consume
+            _unregister(segment)
+
+
+def discard_result(handle):
+    """Unlink a segment whose result will never be decoded (e.g. the
+    supervisor quarantined the run after the worker replied)."""
+    if _shared_memory is None:
+        return
+    try:
+        segment = _shared_memory.SharedMemory(name=handle.name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    segment.unlink()
+
+
+def encode_for_pipe(run):
+    """Worker-side helper: the payload to send over the pipe.
+
+    A :class:`ShmHandle` when the shared-memory transport is on and
+    the run could be laid out, else the run itself (pickle channel).
+    """
+    if not shm_enabled():
+        return run
+    handle = encode_result(run)
+    return run if handle is None else handle
+
+
+def decode_from_pipe(payload):
+    """Parent-side inverse of :func:`encode_for_pipe`."""
+    if isinstance(payload, ShmHandle):
+        return decode_result(payload)
+    return payload

@@ -1,0 +1,228 @@
+"""Batched sweep kernels over whole event buffers.
+
+The scalar helpers in :mod:`repro.metrics.intervals` walk Python lists
+of ``(time, +1/-1)`` tuples one element at a time.  For a recorded run
+that list is born from columnar ``array('q')`` buffers
+(:mod:`repro.trace.columns`), so the per-tuple boxing and the
+interpreted sweep loop are pure overhead.  This module keeps the data
+flat end to end: the WPA tables hand over parallel ``(times, deltas)``
+buffers and the kernels sweep them wholesale.
+
+Two backends implement the same kernels bit-identically:
+
+* ``numpy`` (when importable): clip/diff/cumsum/bincount over int64
+  views of the buffers — no per-event Python bytecode at all.
+* batched pure Python: the scalar sweep loop run over ``zip``-ed
+  memoryviews of the buffers; used when numpy is absent so the
+  ``vector`` mode never becomes a hard dependency.
+
+Selection is via the ``REPRO_KERNEL`` environment variable (or the
+``--kernel`` CLI flag, which sets it): ``auto`` (default) and
+``vector`` use the batched kernels, ``scalar`` forces the legacy
+tuple-list path everywhere — the benchmark baseline.  All three
+produce bit-identical metrics; the golden-fingerprint suite pins that.
+"""
+
+import os
+from array import array
+
+from repro.metrics.intervals import FusedSweep, fused_sweep as _scalar_sweep
+
+#: Environment switch for the sweep-kernel backend.
+KERNEL_ENV = "REPRO_KERNEL"
+KERNEL_CHOICES = ("auto", "vector", "scalar")
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+
+def numpy_available():
+    """True when the numpy backend can be used."""
+    return _np is not None
+
+
+def kernel_backend(override=None):
+    """Resolve the kernel selection to ``"vector"`` or ``"scalar"``.
+
+    ``override`` (a choice string) wins over the environment; an
+    unrecognized value raises rather than silently falling back, so a
+    typo in ``REPRO_KERNEL`` cannot masquerade as a benchmark mode.
+    """
+    value = override if override is not None else os.environ.get(
+        KERNEL_ENV, "auto")
+    value = value.strip().lower()
+    if value not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernel {value!r}; choose from {KERNEL_CHOICES}")
+    return "vector" if value in ("auto", "vector") else "scalar"
+
+
+def vector_enabled(override=None):
+    """True when the batched kernels should be used."""
+    return kernel_backend(override) == "vector"
+
+
+def _as_int64(buffer):
+    """int64 view of a buffer — zero-copy for ``array('q')``/ndarray,
+    a conversion for plain sequences (the row-list fallback path)."""
+    if isinstance(buffer, _np.ndarray):
+        return buffer
+    if isinstance(buffer, array) and buffer.itemsize == 8:
+        if len(buffer) == 0:
+            return _np.empty(0, dtype=_np.int64)
+        return _np.frombuffer(buffer, dtype=_np.int64)
+    return _np.asarray(buffer, dtype=_np.int64)
+
+
+def build_event_arrays(starts, stops, mask=None):
+    """Sorted parallel ``(times, deltas)`` buffers for interval
+    endpoint columns — the batched counterpart of
+    :func:`repro.metrics.intervals.interval_events`.
+
+    ``starts``/``stops`` are parallel ``array('q')`` (or ndarray)
+    columns; ``mask`` optionally selects a row subset (a bool ndarray
+    or any sequence of 0/1 flags).  Ties order ``-1`` before ``+1``,
+    matching the tuple sort of ``interval_events`` (-1 < +1).
+    """
+    if _np is not None:
+        s = _as_int64(starts)
+        e = _as_int64(stops)
+        if mask is not None:
+            mask = _np.asarray(mask, dtype=bool)
+            s = s[mask]
+            e = e[mask]
+        times = _np.concatenate([s, e])
+        deltas = _np.concatenate([
+            _np.ones(len(s), dtype=_np.int64),
+            _np.full(len(e), -1, dtype=_np.int64),
+        ])
+        order = _np.lexsort((deltas, times))
+        return times[order], deltas[order]
+    if mask is not None:
+        pairs = [(s, e) for s, e, keep in zip(starts, stops, mask) if keep]
+    else:
+        pairs = list(zip(starts, stops))
+    events = []
+    for s, e in pairs:
+        events.append((s, 1))
+        events.append((e, -1))
+    events.sort()
+    times = array("q", (t for t, _ in events))
+    deltas = array("q", (d for _, d in events))
+    return times, deltas
+
+
+def occupancy_sweep(times, deltas, window_start, window_stop):
+    """One traversal returning ``(FusedSweep, busy_sum)``.
+
+    ``busy_sum`` integrates the concurrency level over the window —
+    by Fubini exactly the sum of the intervals' window-clipped
+    lengths, the numerator of the paper's §III-B sum-of-ratios GPU
+    utilization (integer arithmetic throughout, so the identity is
+    exact, not approximate).
+
+    The sweep itself is bit-identical to :func:`repro.metrics.
+    intervals.fused_sweep` over the equivalent ``(time, delta)`` tuple
+    list (the property suite pins this on adversarial edge cases).
+    ``times`` must be sorted ascending with ``-1`` deltas first at
+    ties — the contract of :func:`build_event_arrays`.
+    """
+    if window_stop < window_start:
+        raise ValueError("window_stop before window_start")
+    if window_stop == window_start:
+        return FusedSweep({0: 0}, 0, 0), 0
+    if _np is None or len(times) == 0:
+        sweep = _scalar_sweep((), window_start, window_stop,
+                              events=zip(times, deltas))
+        return sweep, _busy_from_profile(sweep.profile)
+    t = _np.clip(_as_int64(times), window_start, window_stop)
+    d = _as_int64(deltas)
+    # Clamped times are non-decreasing and >= window_start, so the
+    # scalar sweep's running ``prev`` is simply the previous clamped
+    # time: the spans are one diff, the level under each span one
+    # exclusive cumsum.
+    bounds = _np.empty(len(t) + 1, dtype=_np.int64)
+    bounds[0] = window_start
+    bounds[1:] = t
+    spans = _np.diff(bounds)
+    levels = _np.empty(len(d), dtype=_np.int64)
+    levels[0] = 0
+    _np.cumsum(d[:-1], out=levels[1:])
+    if bool((spans[levels < 0] > 0).any()):
+        # Malformed input (an end before its start accruing measure):
+        # defer to the scalar loop so the defensive semantics stay in
+        # exactly one place.
+        sweep = _scalar_sweep((), window_start, window_stop,
+                              events=zip(times, deltas))
+        return sweep, _busy_from_profile(sweep.profile)
+    busy = (spans > 0) & (levels > 0)
+    busy_spans = spans[busy]
+    busy_levels = levels[busy]
+    covered = int(busy_spans.sum())
+    peak = int(busy_levels.max(initial=0))
+    busy_sum = int((busy_spans * busy_levels).sum())
+    total = window_stop - window_start
+    profile = {0: total - covered}
+    counts = _np.bincount(busy_levels, weights=busy_spans)
+    for level in _np.nonzero(counts)[0]:
+        profile[int(level)] = int(counts[level])
+    return FusedSweep(profile, covered, peak), busy_sum
+
+
+def _busy_from_profile(profile):
+    """Level-weighted measure of a sweep profile (= clipped busy sum)."""
+    return sum(level * span for level, span in profile.items() if level > 0)
+
+
+def fused_sweep_arrays(times, deltas, window_start, window_stop):
+    """Concurrency profile, union length and peak over event buffers
+    (the :func:`occupancy_sweep` without its busy integral)."""
+    return occupancy_sweep(times, deltas, window_start, window_stop)[0]
+
+
+def union_length_arrays(times, deltas, window_start, window_stop):
+    """Union length over event buffers (see ``fused_sweep_arrays``)."""
+    return fused_sweep_arrays(times, deltas, window_start,
+                              window_stop).union_length
+
+
+def max_concurrency_arrays(times, deltas, window_start, window_stop):
+    """Peak concurrency over event buffers (see ``fused_sweep_arrays``)."""
+    return fused_sweep_arrays(times, deltas, window_start,
+                              window_stop).max_concurrency
+
+
+def clipped_busy_sum(starts, stops, window_start, window_stop):
+    """Sum of interval lengths clipped to the window — the GPU
+    occupancy numerator of the paper's sum-of-ratios utilization.
+
+    Bit-identical to ``sum(min(e, stop) - max(s, start))`` over the
+    spans with positive clipped length (integer arithmetic, order
+    independent).
+    """
+    if _np is None:
+        total = 0
+        for s, e in zip(starts, stops):
+            lo = s if s > window_start else window_start
+            hi = e if e < window_stop else window_stop
+            if hi > lo:
+                total += hi - lo
+        return total
+    lo = _np.maximum(_as_int64(starts), window_start)
+    hi = _np.minimum(_as_int64(stops), window_stop)
+    spans = hi - lo
+    return int(spans[spans > 0].sum())
+
+
+def interned_mask(ids, name_table, processes):
+    """Row mask selecting rows whose interned ``ids`` name one of
+    ``processes`` (numpy backend only; returns ``None`` otherwise)."""
+    if _np is None:
+        return None
+    wanted = [name_table._ids[name] for name in processes
+              if name in name_table._ids]
+    if not wanted:
+        return _np.zeros(len(ids), dtype=bool)
+    return _np.isin(_as_int64(ids), _np.asarray(wanted, dtype=_np.int64))

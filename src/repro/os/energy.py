@@ -73,12 +73,20 @@ class EnergyModel:
         self.machine = machine
         self._active_j = 0.0
         self._by_process = {}
+        #: ``(work_class, clock_factor) -> power``: the float ``**`` is
+        #: the costliest operation of the per-slice hot path and both
+        #: key components take only a handful of values, so each power
+        #: level is computed once and reused bit-for-bit.
+        self._power_cache = {}
 
     def record_slice(self, process_name, work_class, wall_us, clock_factor):
         """Called per scheduling slice (same stream the memory model
         sees); ``clock_factor`` is the turbo multiplier at dispatch."""
-        power = (_ACTIVE_POWER_W[work_class]
-                 * clock_factor ** _CLOCK_EXPONENT)
+        power = self._power_cache.get((work_class, clock_factor))
+        if power is None:
+            power = (_ACTIVE_POWER_W[work_class]
+                     * clock_factor ** _CLOCK_EXPONENT)
+            self._power_cache[(work_class, clock_factor)] = power
         joules = power * wall_us / 1_000_000.0
         self._active_j += joules
         self._by_process[process_name] = (

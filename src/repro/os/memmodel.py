@@ -74,7 +74,12 @@ class MemoryModel:
 
     def record_slice(self, process_name, work_class, wall_us,
                      sibling_busy, sibling_same_process):
-        counters = self._counters.setdefault(process_name, ProcessCounters())
+        # get-then-insert rather than setdefault: the default argument
+        # of setdefault would construct (and discard) a ProcessCounters
+        # on every slice of this per-slice hot path.
+        counters = self._counters.get(process_name)
+        if counters is None:
+            counters = self._counters[process_name] = ProcessCounters()
         counters.work_us += wall_us
         wall_ms = wall_us / 1000.0
         misses = _LLC_MISS_RATE_PER_MS[work_class] * wall_ms

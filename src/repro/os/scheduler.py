@@ -19,6 +19,9 @@ from collections import deque
 from repro.os.threads import ThreadState
 from repro.os.work import smt_pair_throughput
 from repro.sim import MS
+# Re-exported here for backwards compatibility: the epoch switch
+# lives with the environment (the GPU engines gate on it too).
+from repro.sim.environment import EPOCH_ENV, epoch_enabled  # noqa: F401
 from repro.sim.exceptions import Interrupt
 
 #: Windows' foreground quantum is ~2 clock ticks (~31 ms); we use a
@@ -85,7 +88,7 @@ class Scheduler:
 
     def __init__(self, env, machine, session, memory_model=None,
                  energy_model=None, quantum=DEFAULT_QUANTUM, turbo=True,
-                 dispatch_policy="spread"):
+                 dispatch_policy="spread", epoch=None):
         if dispatch_policy not in self.POLICIES:
             raise ValueError(f"unknown dispatch policy {dispatch_policy!r}")
         self.env = env
@@ -121,6 +124,16 @@ class Scheduler:
         #: Total nominal work retired, per process name (for throughput
         #: metrics like transcode rate sanity checks).
         self.retired_work = {}
+        #: Epoch-partitioned burst execution (see :meth:`run_burst`).
+        self.epoch = epoch_enabled(epoch)
+        #: Turbo clock factor is a pure function of the busy-core count;
+        #: precomputing the table turns the per-slice call into a list
+        #: index.  Index 0 (no busy cores) shares the single-core value
+        #: — ``max(1, busy)`` in the formula.
+        self._clock_table = [self._compute_clock_factor(busy)
+                             for busy in range(self._n_cores + 1)]
+        #: ``smt_pair_throughput`` per work class, filled on first use.
+        self._pair_cache = {}
 
     def _map_siblings(self):
         by_core = {}
@@ -164,8 +177,8 @@ class Scheduler:
         """Number of physical cores with at least one busy sibling."""
         return self._busy_cores
 
-    def _clock_factor(self):
-        """Turbo-boost speed multiplier based on active core count.
+    def _compute_clock_factor(self, busy_cores):
+        """Turbo-boost speed multiplier for ``busy_cores`` active cores.
 
         With few busy cores the chip sustains its turbo clock; fully
         loaded it drops toward base — the standard Intel behaviour.
@@ -173,22 +186,29 @@ class Scheduler:
         if not self.turbo:
             return 1.0
         cpu = self.machine.cpu
-        busy = max(1, self._busy_cores)
+        busy = max(1, busy_cores)
         total = max(1, self._n_cores)
         span = cpu.turbo_clock_ghz - cpu.base_clock_ghz
         frac = (busy - 1) / max(1, total - 1)
         clock = cpu.turbo_clock_ghz - span * frac
         return clock / cpu.base_clock_ghz
 
+    def _clock_factor(self):
+        """Current turbo multiplier (precomputed per busy-core count)."""
+        return self._clock_table[self._busy_cores]
+
     def speed_of(self, lcpu, work_class):
         """Execution speed (nominal work per wall µs) on ``lcpu`` now."""
-        speed = self._clock_factor()
+        speed = self._clock_table[self._busy_cores]
         busy_siblings = 0
         for s in self._siblings[lcpu.index]:
             if s.thread is not None:
                 busy_siblings += 1
         if busy_siblings:
-            pair = smt_pair_throughput(self.machine.cpu, work_class)
+            pair = self._pair_cache.get(work_class)
+            if pair is None:
+                pair = smt_pair_throughput(self.machine.cpu, work_class)
+                self._pair_cache[work_class] = pair
             speed *= pair / (1 + busy_siblings)
         return speed
 
@@ -263,67 +283,138 @@ class Scheduler:
         Delegated to by :meth:`Thread._run`; yields simulation events.
         Handles enqueueing, dispatch, SMT speed scaling, preemption and
         trace emission.
+
+        **Epoch-partitioned execution** (``self.epoch``, the default):
+        a thread granted a CPU while the environment is *quiescent* —
+        no other event queued at the current instant and no callback
+        cascade in flight (:meth:`~repro.sim.environment.Environment.
+        quiescent`) — takes the CPU synchronously instead of round-
+        tripping a grant event through the global queue.  Between such
+        grants the thread advances on its own virtual clock (its slice
+        timeouts), merging back into the globally ordered event stream
+        at every epoch boundary: a contended ready queue, a same-
+        instant event, or a callback fan-out.  Because the fast path
+        only triggers when nothing else could have run before the
+        grant event would have been processed — and event removal
+        preserves the relative (time, priority, eid) order of every
+        other event — the schedule, the emitted trace and every metric
+        are bit-identical to the legacy loop; the golden suite pins
+        that equivalence across all 150 grid points.
         """
         env = self.env
         session = self.session
         remaining = int(amount)
+        epoch = self.epoch
+        # Locals for the per-slice loop: attribute loads repeated tens
+        # of thousands of times per run are bound once.  Only values
+        # that never change mid-run may be hoisted — mutable scheduler
+        # state (masks, ready queue) is re-read after every yield.
+        ready = self._ready
+        siblings = self._siblings
+        clock_table = self._clock_table
+        pair_cache = self._pair_cache
+        retired = self.retired_work
+        memory_model = self.memory_model
+        energy_model = self.energy_model
+        quantum = self.quantum
+        ceil = math.ceil
+        process = thread.process
+        process_name = process.name
+        state_ready = ThreadState.READY
+        state_running = ThreadState.RUNNING
+        queue = env._queue
         while remaining > 0:
-            thread.state = ThreadState.READY
-            ready_time = env.now
-            grant = env.event()
-            self._enqueue(thread, grant)
-            self._dispatch()
-            try:
-                lcpu = yield grant
-            except Interrupt:
-                # Killed while waiting for a CPU: leave the queue (or
-                # free the CPU that was granted in the same instant).
-                self._ready = deque(
-                    entry for entry in self._ready if entry[1] is not grant)
-                if grant.triggered:
-                    self._vacate(grant.value)
-                    self._dispatch()
-                raise
-            thread.state = ThreadState.RUNNING
+            thread.state = state_ready
+            ready_time = env._now
+            # ``env.quiescent()`` inlined (same test, no call).
+            if (epoch and not ready and self._idle_mask
+                    and env._cb_pending == 0
+                    and (not queue or queue[0][0] > ready_time)):
+                # Synchronous grant: same CPU choice and occupancy
+                # bookkeeping as _dispatch, minus the event round-trip.
+                lcpu = self._pick_idle_lcpu(thread)
+                self._occupy(lcpu, thread)
+                thread.last_cpu = lcpu.index
+            else:
+                grant = env.event()
+                self._enqueue(thread, grant)
+                self._dispatch()
+                try:
+                    lcpu = yield grant
+                except Interrupt:
+                    # Killed while waiting for a CPU: leave the queue (or
+                    # free the CPU that was granted in the same instant).
+                    # In place (not a rebind): every in-flight run_burst
+                    # frame holds this deque as a local.
+                    kept = [entry for entry in self._ready
+                            if entry[1] is not grant]
+                    ready.clear()
+                    ready.extend(kept)
+                    if grant.triggered:
+                        self._vacate(grant.value)
+                        self._dispatch()
+                    raise
+            thread.state = state_running
             lcpu.work_class = work_class
-            speed = self.speed_of(lcpu, work_class)
-            sibling_busy = False
+            # One fused pass over the SMT siblings feeds both the speed
+            # factor (busy-sibling count) and the memory-model flags —
+            # the legacy code walked the sibling tuple twice per slice.
+            busy_siblings = 0
             sibling_same_process = False
-            for s in self._siblings[lcpu.index]:
+            for s in siblings[lcpu.index]:
                 other = s.thread
                 if other is not None:
-                    sibling_busy = True
-                    if other.process is thread.process:
+                    busy_siblings += 1
+                    if other.process is process:
                         sibling_same_process = True
-                        break
-            cap = self.quantum if self._ready else RESAMPLE_PERIOD
-            wall = min(max(1, math.ceil(remaining / speed)), cap)
-            switch_in = env.now
+            speed = clock_table[self._busy_cores]
+            if busy_siblings:
+                pair = pair_cache.get(work_class)
+                if pair is None:
+                    pair = smt_pair_throughput(self.machine.cpu, work_class)
+                    pair_cache[work_class] = pair
+                speed *= pair / (1 + busy_siblings)
+            cap = quantum if ready else RESAMPLE_PERIOD
+            wall = ceil(remaining / speed)
+            if wall < 1:
+                wall = 1
+            elif wall > cap:
+                wall = cap
+            switch_in = env._now
             interrupted = None
-            try:
-                yield env.timeout(wall)
-            except Interrupt as exc:
-                # Killed mid-slice: account for the time actually spent
-                # on the CPU, then unwind.
-                interrupted = exc
-                wall = env.now - switch_in
+            # ``env.advance(wall)`` inlined — the three-way equivalence
+            # test documented there, minus the call overhead.
+            target = switch_in + wall
+            horizon = env._horizon
+            if (epoch and env._cb_pending == 0
+                    and (horizon is None or target <= horizon)
+                    and (not queue or queue[0][0] > target)):
+                env._now = target
+            else:
+                try:
+                    yield env.timeout(wall)
+                except Interrupt as exc:
+                    # Killed mid-slice: account for the time actually
+                    # spent on the CPU, then unwind.
+                    interrupted = exc
+                    wall = env._now - switch_in
             if wall > 0:
                 done = min(remaining, max(1, math.floor(wall * speed)))
                 remaining -= done
-                self.retired_work[thread.process.name] = (
-                    self.retired_work.get(thread.process.name, 0) + done)
+                retired[process_name] = retired.get(process_name, 0) + done
                 session.emit_cswitch(
-                    thread.process.name, thread.process.pid, thread.tid,
-                    thread.name, lcpu.index, ready_time, switch_in, env.now)
-                if self.memory_model is not None:
-                    self.memory_model.record_slice(
-                        thread.process.name, work_class, wall,
-                        sibling_busy, sibling_same_process)
-                if self.energy_model is not None:
-                    self.energy_model.record_slice(
-                        thread.process.name, work_class, wall,
-                        self._clock_factor())
+                    process_name, process.pid, thread.tid,
+                    thread.name, lcpu.index, ready_time, switch_in, env._now)
+                if memory_model is not None:
+                    memory_model.record_slice(
+                        process_name, work_class, wall,
+                        busy_siblings > 0, sibling_same_process)
+                if energy_model is not None:
+                    energy_model.record_slice(
+                        process_name, work_class, wall,
+                        clock_table[self._busy_cores])
             self._vacate(lcpu)
-            self._dispatch()
+            if ready:
+                self._dispatch()
             if interrupted is not None:
                 raise interrupted

@@ -47,7 +47,16 @@ class _SyncPrimitive:
             self.name = register(self, self.kind, name)
         else:  # bare test doubles without the kernel-side registry
             self.name = name or f"{self.kind}@{id(self):x}"
-        self._note = getattr(kernel, "note_sync_op", None)
+        note = getattr(kernel, "note_sync_op", None)
+        if note is not None:
+            # The base kernel's hook is a documented no-op; observers
+            # (the static shadow kernel) override it.  Detecting the
+            # no-op here removes a useless call from every sync op.
+            from repro.os.kernel import Kernel
+            if getattr(type(kernel), "note_sync_op", None) \
+                    is Kernel.note_sync_op:
+                note = None
+        self._note = note
 
     def _record(self, op, token=None):
         if self._note is not None:

@@ -15,8 +15,10 @@ the CPU.
 """
 
 from enum import Enum
+from heapq import heappop
 
 from repro.os.work import WorkClass
+from repro.sim.events import PENDING
 from repro.sim.exceptions import Interrupt
 
 
@@ -60,11 +62,12 @@ class ThreadContext:
 
     def __init__(self, thread):
         self._thread = thread
+        self._env = thread.kernel.env
 
     @property
     def now(self):
         """Current simulation time in microseconds."""
-        return self._thread.kernel.env.now
+        return self._env._now
 
     @property
     def thread(self):
@@ -129,22 +132,63 @@ class Thread:
         ctx = ThreadContext(self)
         generator = self.body(ctx)
         scheduler = self.kernel.scheduler
+        env = self.kernel.env
+        epoch = scheduler.epoch
         result = None
         try:
             request = next(generator)
             while True:
                 try:
-                    if isinstance(request, _CpuRequest):
+                    # Exact-type checks: the request classes are final
+                    # by construction and ``type() is`` dispatches the
+                    # per-yield hot loop faster than isinstance.
+                    kind = type(request)
+                    if kind is _CpuRequest:
                         yield from scheduler.run_burst(
                             self, request.amount, request.work_class)
                         value = None
-                    elif isinstance(request, _SleepRequest):
+                    elif kind is _SleepRequest:
                         self.state = ThreadState.SLEEPING
-                        yield self.kernel.env.timeout(request.duration)
+                        # Epoch fast path: an uncontended sleep advances
+                        # this thread's virtual clock without an event
+                        # (see Environment.advance for the equivalence).
+                        if not (epoch and env.advance(request.duration)):
+                            yield env.timeout(request.duration)
                         value = None
-                    elif isinstance(request, _WaitRequest):
+                    elif kind is _WaitRequest:
+                        event = request.event
                         self.state = ThreadState.BLOCKED
-                        value = yield request.event
+                        # Epoch fast paths for waits that cannot block:
+                        # an uncontended sync op hands back an already-
+                        # triggered event whose processing would be the
+                        # very next step — consume it synchronously
+                        # (popping it from the queue) instead of parking
+                        # the thread for one event round-trip.  Failed
+                        # events always take the legacy path so throw/
+                        # defuse semantics stay in one place.
+                        if (epoch and event._ok
+                                and event._value is not PENDING
+                                and env._cb_pending == 0):
+                            queue = env._queue
+                            if (event.callbacks is None
+                                    and (not queue
+                                         or queue[0][0] > env._now)):
+                                # Processed earlier: the legacy relay
+                                # event would fire next with no other
+                                # runnable work — skip it.
+                                value = event._value
+                            elif (event.callbacks == []
+                                    and queue and queue[0][3] is event):
+                                # Triggered, unprocessed, head of the
+                                # queue, nobody else waiting: process
+                                # it here, exactly as the loop would.
+                                heappop(queue)
+                                event.callbacks = None
+                                value = event._value
+                            else:
+                                value = yield event
+                        else:
+                            value = yield event
                     else:
                         raise TypeError(
                             f"thread {self.name!r} yielded {request!r}; "

@@ -5,6 +5,7 @@ integers keeps event ordering exact and runs deterministic — two runs
 with the same seed produce bit-identical traces.
 """
 
+import os
 import sys
 from heapq import heappop, heappush
 from sys import getrefcount
@@ -17,6 +18,25 @@ NORMAL = 1
 #: Priority used for urgent deliveries such as interrupts.
 URGENT = 0
 
+#: Environment switch for the epoch-partitioned fast paths (the
+#: scheduler's synchronous CPU grants and the :meth:`Environment.
+#: advance` virtual-clock skips).  Any of the "off" values falls back
+#: to the legacy one-event-per-step loop — used as the benchmark
+#: baseline; everything else, including unset, enables the partitioned
+#: paths, which are bit-identical by construction.
+EPOCH_ENV = "REPRO_EPOCH"
+_EPOCH_OFF = frozenset({"legacy", "off", "0", "no"})
+
+
+def epoch_enabled(override=None):
+    """Resolve the epoch-partitioned execution switch."""
+    if override is not None:
+        return bool(override)
+    value = os.environ.get(EPOCH_ENV)
+    if value is None:
+        return True
+    return value.strip().lower() not in _EPOCH_OFF
+
 #: Upper bound on recycled Timeout objects kept per environment.  The
 #: refcount-based recycling below is only meaningful on CPython;
 #: elsewhere the pool stays empty and every timeout is freshly built.
@@ -26,13 +46,24 @@ _TIMEOUT_POOL_CAP = 1024 if sys.implementation.name == "cpython" else 0
 class Environment:
     """Owns the simulation clock and executes events in time order."""
 
-    def __init__(self, initial_time=0):
+    def __init__(self, initial_time=0, epoch=None):
         self._now = int(initial_time)
+        #: Epoch-partitioned fast paths enabled (callers gate their
+        #: :meth:`advance` skips on this so ``REPRO_EPOCH=legacy``
+        #: restores the one-event-per-step baseline everywhere).
+        self.epoch = epoch_enabled(epoch)
         self._queue = []
         self._eid = 0
         self._timeout_pool = []
         #: The process currently being resumed (None between steps).
         self.active_process = None
+        #: Callbacks of the event being stepped that have not run yet.
+        #: Together with the queue head this defines :meth:`quiescent`.
+        self._cb_pending = 0
+        #: Time bound of the innermost :meth:`run` call (``None`` when
+        #: unbounded): :meth:`advance` must never move the clock past
+        #: it, because a timeout beyond the horizon never fires.
+        self._horizon = None
 
     @property
     def now(self):
@@ -63,7 +94,9 @@ class Environment:
             event._ok = True
             event._value = value
             event.delay = delay
-            self.schedule(event, delay=delay)
+            self._eid += 1
+            heappush(self._queue,
+                     (self._now + int(delay), NORMAL, self._eid, event))
             return event
         return Timeout(self, delay, value)
 
@@ -91,14 +124,70 @@ class Environment:
         """Time of the next scheduled event, or ``None`` if queue empty."""
         return self._queue[0][0] if self._queue else None
 
+    def quiescent(self):
+        """True when no *other* event can run at the current instant.
+
+        This is the epoch-boundary test of the partitioned run loop:
+        when it holds, the code currently executing is the only engine
+        that can act before simulation time advances, so it may keep
+        running on its private virtual clock (e.g. the scheduler's
+        synchronous CPU grant) without an observable ordering change.
+        Two channels could interleave same-instant work and both are
+        checked: queued events at ``now`` (the heap head) and the
+        not-yet-run callbacks of the event being stepped — the latter
+        are invisible to the queue, so :meth:`step` counts them.
+        """
+        return self._cb_pending == 0 and (
+            not self._queue or self._queue[0][0] > self._now)
+
+    def advance(self, delay):
+        """Move the clock forward ``delay`` µs synchronously if — and
+        only if — that is indistinguishable from yielding a timeout.
+
+        This is the epoch-partitioned run loop's private virtual
+        clock: a caller that would otherwise ``yield timeout(delay)``
+        may instead keep executing with time advanced, skipping the
+        schedule/heappop/callback/generator-resume round-trip.  The
+        skip is provably equivalent when the timeout would have been
+        the very next event processed *and* would actually fire:
+
+        * no callback cascade is in flight (``_cb_pending``),
+        * the target time does not pass the :meth:`run` horizon (a
+          timeout past ``until`` never fires, so the caller must stay
+          suspended exactly as the legacy path does), and
+        * no queued event fires at or before the target — strict
+          inequality, because an already-queued event at the same
+          instant holds a smaller eid and would run first.
+
+        Returns ``True`` after advancing, ``False`` (clock untouched)
+        when the caller must fall back to a real timeout event.
+        """
+        if delay < 0:
+            return False
+        target = self._now + delay
+        if (self._cb_pending == 0
+                and (self._horizon is None or target <= self._horizon)
+                and (not self._queue or self._queue[0][0] > target)):
+            self._now = target
+            return True
+        return False
+
     def step(self):
         """Process exactly one event from the queue."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
         self._now, _, _, event = heappop(self._queue)
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        if len(callbacks) == 1:
+            # Fast path: a single callback leaves ``_cb_pending`` at 0
+            # throughout, so :meth:`quiescent` needs no bookkeeping.
+            callbacks[0](event)
+        else:
+            remaining = len(callbacks)
+            for callback in callbacks:
+                remaining -= 1
+                self._cb_pending = remaining
+                callback(event)
         if not event._ok and not getattr(event, "defused", False):
             raise event._value
         # Recycle the timeout if nothing else references it: exactly
@@ -124,17 +213,41 @@ class Environment:
             if until < self._now:
                 raise ValueError(
                     f"until ({until}) must not be before current time ({self._now})")
+        self._horizon = until if stop_event is None else None
+        # The loop below is :meth:`step` unrolled with everything bound
+        # to locals — the dispatch overhead of the method call and the
+        # repeated attribute loads is measurable at millions of events.
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heappop
+        bounded = stop_event is None and until is not None
         try:
-            while self._queue:
+            while queue:
                 if stop_event is not None and stop_event.processed:
                     break
-                if until is not None and not isinstance(until, Event):
-                    if self._queue[0][0] > until:
-                        self._now = until
-                        break
-                self.step()
+                if bounded and queue[0][0] > until:
+                    self._now = until
+                    break
+                self._now, _, _, event = pop(queue)
+                callbacks, event.callbacks = event.callbacks, None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    remaining = len(callbacks)
+                    for callback in callbacks:
+                        remaining -= 1
+                        self._cb_pending = remaining
+                        callback(event)
+                if not event._ok and not getattr(event, "defused", False):
+                    raise event._value
+                if (type(event) is Timeout
+                        and len(pool) < _TIMEOUT_POOL_CAP
+                        and getrefcount(event) == 2):
+                    pool.append(event)
         except StopSimulation as stop:
             return stop.args[0] if stop.args else None
+        finally:
+            self._horizon = None
         if stop_event is not None:
             if not stop_event.triggered:
                 raise SimulationError("run(until=event) exhausted the queue "

@@ -93,10 +93,20 @@ class CswitchColumns(_ColumnStore):
 
     def append(self, process, pid, tid, thread_name, cpu,
                ready_time, switch_in_time, switch_out_time):
-        self._process.append(self.process_names.intern(process))
+        # Interning is inlined (one dict probe in the common case):
+        # this method is the per-context-switch hot path.
+        table = self.process_names
+        index = table._ids.get(process)
+        if index is None:
+            index = table.intern(process)
+        self._process.append(index)
         self._pid.append(pid)
         self._tid.append(tid)
-        self._thread.append(self.thread_names.intern(thread_name))
+        table = self.thread_names
+        index = table._ids.get(thread_name)
+        if index is None:
+            index = table.intern(thread_name)
+        self._thread.append(index)
         self._cpu.append(cpu)
         self._ready.append(ready_time)
         self._in.append(switch_in_time)

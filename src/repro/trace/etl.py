@@ -107,6 +107,20 @@ class EtlTrace:
             self._processes = tuple(sorted(names))
         return list(self._processes)
 
+    def cswitch_store(self):
+        """The columnar cswitch store backing this trace, or ``None``
+        when the group is a plain record list.  The batched metric
+        kernels (:mod:`repro.metrics.kernels`) sweep its ``array('q')``
+        buffers directly, skipping tuple materialization entirely."""
+        source = self._sources["cswitches"]
+        return source if hasattr(source, "rows") else None
+
+    def gpu_store(self):
+        """The columnar GPU-packet store, or ``None`` (see
+        :meth:`cswitch_store`)."""
+        source = self._sources["gpu_packets"]
+        return source if hasattr(source, "rows") else None
+
     def cswitch_rows(self):
         """CPU Usage (Precise) tuples ``(process, pid, tid, thread_name,
         cpu, ready, switch_in, switch_out)`` — columnar fast path avoids

@@ -112,6 +112,18 @@ class TraceSession:
         self.recording = True
         self._start_time = self.env.now
         self._alloc_buffers()
+        # While recording with columnar retention, the two high-volume
+        # emit hooks collapse to the column stores' bound ``append``
+        # methods (instance attributes shadowing the class methods):
+        # the per-record provider/flag checks run once here instead of
+        # tens of thousands of times in the scheduler hot loop.  The
+        # signatures match field-for-field; :meth:`stop` removes the
+        # shadows so the checking class methods return.
+        if self.columnar and self.retain_records:
+            if CPU_USAGE_PRECISE in self.providers:
+                self.emit_cswitch = self._cswitches.append
+            if GPU_UTILIZATION_FM in self.providers:
+                self.emit_gpu_packet = self._gpu_packets.append
         for consumer in self.subscribers:
             consumer.on_window_start(self.env.now)
 
@@ -126,6 +138,8 @@ class TraceSession:
         if not self.recording:
             raise RuntimeError("trace session is not recording")
         self.recording = False
+        self.__dict__.pop("emit_cswitch", None)
+        self.__dict__.pop("emit_gpu_packet", None)
         trace = EtlTrace(
             self._start_time,
             self.env.now,

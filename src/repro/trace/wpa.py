@@ -34,20 +34,45 @@ class CpuUsagePreciseTable:
     COLUMNS = ("process", "pid", "tid", "thread_name", "cpu",
                "ready_time", "switch_in_time", "switch_out_time")
 
-    def __init__(self, rows, trace_start, trace_stop):
-        self.rows = list(rows)
+    def __init__(self, rows, trace_start, trace_stop, store=None):
+        self._rows = None if rows is None else list(rows)
+        #: Columnar backing store (``trace.columns.CswitchColumns``)
+        #: when the table was extracted from a columnar trace; the
+        #: batched kernels read its buffers, and row materialization
+        #: is deferred until someone actually needs tuples.
+        self._store = store
+        if rows is None and store is None:
+            raise ValueError("need rows or a columnar store")
         self.trace_start = trace_start
         self.trace_stop = trace_stop
         self._events_cache = {}
+        self._arrays_cache = {}
         self._by_cpu_cache = {}
+
+    @property
+    def rows(self):
+        """Row tuples, sorted by (switch-in, cpu) — materialized
+        lazily from the columnar store when first needed."""
+        if self._rows is None:
+            self._rows = sorted(self._store.rows(),
+                                key=lambda row: (row[6], row[4]))
+        return self._rows
 
     @classmethod
     def from_trace(cls, trace):
         """Extract the table from an :class:`~repro.trace.etl.EtlTrace`.
 
         Uses the trace's tuple fast path (``cswitch_rows``), which for
-        columnar traces skips dataclass materialization entirely.
+        columnar traces skips dataclass materialization entirely; a
+        still-columnar group is carried as the backing store so the
+        batched kernels can sweep its buffers without ever building
+        row tuples.
         """
+        store = (trace.cswitch_store()
+                 if hasattr(trace, "cswitch_store") else None)
+        if store is not None:
+            return cls(None, trace.start_time, trace.stop_time,
+                       store=store)
         if hasattr(trace, "cswitch_rows"):
             raw = trace.cswitch_rows()
         else:
@@ -79,6 +104,37 @@ class CpuUsagePreciseTable:
             self._events_cache[key] = events
         return events
 
+    def busy_event_arrays(self, processes=None):
+        """Sorted parallel ``(times, deltas)`` buffers of the
+        switch-in/out events, memoized per process set — what the
+        batched kernels (:mod:`repro.metrics.kernels`) sweep.
+
+        Backed directly by the columnar store's ``array('q')`` buffers
+        when the table has one (no row tuples are ever built); built
+        from the row list otherwise.
+        """
+        from repro.metrics.kernels import build_event_arrays, interned_mask
+
+        key = _freeze_processes(processes)
+        arrays = self._arrays_cache.get(key)
+        if arrays is None:
+            store = self._store
+            if store is not None:
+                mask = None
+                if processes is not None:
+                    mask = interned_mask(store._process,
+                                         store.process_names, processes)
+                if processes is None or mask is not None:
+                    arrays = build_event_arrays(store._in, store._out,
+                                                mask=mask)
+            if arrays is None:
+                keep = [row for row in self.rows
+                        if processes is None or row[0] in processes]
+                arrays = build_event_arrays(
+                    [row[6] for row in keep], [row[7] for row in keep])
+            self._arrays_cache[key] = arrays
+        return arrays
+
     def intervals_by_cpu(self, processes=None):
         """``{cpu: [(start, stop), ...]}`` sorted per CPU, memoized."""
         key = _freeze_processes(processes)
@@ -95,6 +151,8 @@ class CpuUsagePreciseTable:
 
     def process_names(self):
         """Sorted distinct process names in the table."""
+        if self._rows is None:
+            return sorted(self._store.used_processes())
         return sorted({row[0] for row in self.rows})
 
 
@@ -104,15 +162,32 @@ class GpuUtilizationTable:
     COLUMNS = ("process", "pid", "engine", "packet_type",
                "submit_time", "start_execution", "finished")
 
-    def __init__(self, rows, trace_start, trace_stop):
-        self.rows = list(rows)
+    def __init__(self, rows, trace_start, trace_stop, store=None):
+        self._rows = None if rows is None else list(rows)
+        self._store = store
+        if rows is None and store is None:
+            raise ValueError("need rows or a columnar store")
         self.trace_start = trace_start
         self.trace_stop = trace_stop
         self._events_cache = {}
+        self._arrays_cache = {}
         self._spans_cache = {}
+
+    @property
+    def rows(self):
+        """Row tuples, sorted by (start-execution, engine) —
+        materialized lazily from the columnar store."""
+        if self._rows is None:
+            self._rows = sorted(self._store.rows(),
+                                key=lambda row: (row[5], row[2]))
+        return self._rows
 
     @classmethod
     def from_trace(cls, trace):
+        store = trace.gpu_store() if hasattr(trace, "gpu_store") else None
+        if store is not None:
+            return cls(None, trace.start_time, trace.stop_time,
+                       store=store)
         if hasattr(trace, "gpu_rows"):
             raw = trace.gpu_rows()
         else:
@@ -143,6 +218,32 @@ class GpuUtilizationTable:
             self._events_cache[key] = events
         return events
 
+    def packet_event_arrays(self, processes=None):
+        """Sorted parallel ``(times, deltas)`` buffers of the packet
+        start/finish events (see ``CpuUsagePreciseTable.
+        busy_event_arrays``), memoized per process set."""
+        from repro.metrics.kernels import build_event_arrays, interned_mask
+
+        key = _freeze_processes(processes)
+        arrays = self._arrays_cache.get(key)
+        if arrays is None:
+            store = self._store
+            if store is not None:
+                mask = None
+                if processes is not None:
+                    mask = interned_mask(store._process,
+                                         store.process_names, processes)
+                if processes is None or mask is not None:
+                    arrays = build_event_arrays(store._start,
+                                                store._finished, mask=mask)
+            if arrays is None:
+                keep = [row for row in self.rows
+                        if processes is None or row[0] in processes]
+                arrays = build_event_arrays(
+                    [row[5] for row in keep], [row[6] for row in keep])
+            self._arrays_cache[key] = arrays
+        return arrays
+
     def packet_spans(self, processes=None):
         """Sorted ``(start_execution, finished)`` pairs, memoized —
         feeds the sum-of-ratios utilization without re-filtering."""
@@ -155,6 +256,8 @@ class GpuUtilizationTable:
         return spans
 
     def process_names(self):
+        if self._rows is None:
+            return sorted(self._store.used_processes())
         return sorted({row[0] for row in self.rows})
 
 

@@ -12,7 +12,7 @@ from repro.harness import (
     run_app,
     run_suite,
 )
-from repro.harness.cache import spec_key
+from repro.harness.cache import _FRAME, CACHE_MAGIC, spec_key
 from repro.hardware import GTX_680, paper_machine
 from repro.sim import MS, SECOND
 
@@ -108,9 +108,14 @@ class TestResultCache:
         assert executor.executed == 1          # corrupt entry = miss
         assert executor.cache.misses == 1
         assert again.fractions == cold.fractions
-        # The recomputed result replaced the corrupt file.
-        with open(entry, "rb") as fh:
-            assert pickle.load(fh).tlp.fractions == cold.runs[0].tlp.fractions
+        # The recomputed result replaced the corrupt file, framed with
+        # the integrity header that gates every load.
+        blob = entry.read_bytes()
+        magic, length, _crc = _FRAME.unpack_from(blob)
+        payload = blob[_FRAME.size:]
+        assert magic == CACHE_MAGIC and len(payload) == length
+        assert pickle.loads(payload).tlp.fractions == \
+            cold.runs[0].tlp.fractions
 
     def test_uncacheable_app_still_runs(self, tmp_path):
         app = HandBrake()
@@ -126,3 +131,66 @@ class TestResultCache:
         vlc = run_app("vlc", duration_us=SHORT, iterations=1, cache=cache)
         assert cache.hits == 0 and cache.misses == 2
         assert excel.fractions != vlc.fractions
+
+
+class TestEntryFraming:
+    """The integrity frame is checked before any unpickling."""
+
+    def _seed_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_app("excel", duration_us=SHORT, iterations=1, cache=cache)
+        (entry,) = list(tmp_path.rglob("*.pkl"))
+        return entry
+
+    def _load(self, tmp_path, entry):
+        cache = ResultCache(tmp_path)
+        key = entry.stem
+        return cache.load_classified(key), cache
+
+    def test_valid_frame_round_trips(self, tmp_path):
+        entry = self._seed_entry(tmp_path)
+        (kind, payload), cache = self._load(tmp_path, entry)
+        assert kind == "hit" and payload is not None
+        assert cache.corrupt == 0
+
+    def test_bad_crc_is_corrupt(self, tmp_path):
+        # Flip one payload byte: still a frame, CRC no longer vouches.
+        entry = self._seed_entry(tmp_path)
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF
+        entry.write_bytes(bytes(blob))
+        (kind, payload), cache = self._load(tmp_path, entry)
+        assert (kind, payload) == ("corrupt", None)
+        assert cache.corrupt == 1
+        assert not entry.exists()
+
+    def test_bad_magic_is_corrupt(self, tmp_path):
+        entry = self._seed_entry(tmp_path)
+        blob = bytearray(entry.read_bytes())
+        blob[:8] = b"XXXXXXXX"
+        entry.write_bytes(bytes(blob))
+        (kind, payload), _ = self._load(tmp_path, entry)
+        assert (kind, payload) == ("corrupt", None)
+
+    def test_truncated_entry_is_corrupt(self, tmp_path):
+        # A truncated write is caught by the length field even though
+        # the prefix might still be a loadable pickle stream.
+        entry = self._seed_entry(tmp_path)
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[:len(blob) - 16])
+        (kind, payload), _ = self._load(tmp_path, entry)
+        assert (kind, payload) == ("corrupt", None)
+
+    def test_unframed_pickle_is_corrupt(self, tmp_path):
+        # A bare pickle (the pre-frame format, or a foreign file) never
+        # reaches the unpickler at all.
+        entry = self._seed_entry(tmp_path)
+        entry.write_bytes(pickle.dumps({"not": "a run"}))
+        (kind, payload), _ = self._load(tmp_path, entry)
+        assert (kind, payload) == ("corrupt", None)
+
+    def test_short_file_is_corrupt(self, tmp_path):
+        entry = self._seed_entry(tmp_path)
+        entry.write_bytes(b"tiny")
+        (kind, payload), _ = self._load(tmp_path, entry)
+        assert (kind, payload) == ("corrupt", None)
