@@ -14,4 +14,4 @@ Typical entry point::
     print(result.tlp.mean, result.gpu_util.mean)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

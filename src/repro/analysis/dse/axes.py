@@ -1,0 +1,104 @@
+"""The config-axis partition: what each DSE knob can possibly change.
+
+The whole engine rests on one observation about the simulator: the
+scheduler reads the machine's clocks only through
+:func:`repro.os.scheduler.compute_clock_factor` — the turbo/base
+*ratio* per busy-core count — so uniformly scaling base and turbo
+frequency, which is exactly what the parametric family's tech node
+and DVFS knobs do, leaves the simulated schedule unchanged.  Energy
+coefficients never reach the scheduler at all.  That classifies every
+axis of :func:`repro.hardware.catalog.generate_machines`:
+
+========================  ==================  =========================
+axis                      class               how it is scored
+========================  ==================  =========================
+energy coefficients       trace-invariant     re-score the activity
+                                              histogram (no new data)
+tech node (power/volt)    trace-invariant     constant factor on CPU
+                                              active energy
+tech node (frequency),    trace-rescaling     time columns rescale
+DVFS ratio                                    linearly; TLP fractions
+                                              are ratios -> unchanged
+core count, SMT ways      trace-changing      re-simulate (one base
+                                              run per signature)
+========================  ==================  =========================
+
+:func:`sim_signature` captures precisely the machine fields the
+simulation *can* observe; configs sharing a signature replay the same
+trace and share one base run.
+
+One subtlety keeps the guarantee *bit*-exact rather than
+approximately exact: the clock ratio is computed in floating point
+from the absolute clocks, so two DVFS points scaled from the same
+reference can differ in the last ulp of a clock factor — and a
+last-ulp speed difference can legitimately move a burst boundary.
+The signature therefore embeds the scheduler's exact per-busy-core
+clock-factor table (evaluated through the very same
+:func:`~repro.os.scheduler.compute_clock_factor` the scheduler uses)
+instead of a nominal ratio: ulp-distinct tables get their own base
+run (a handful of extra simulations per campaign), identical tables
+share one, and the shared-trace claim never rests on float luck.
+"""
+
+from repro.os.scheduler import build_topology, compute_clock_factor
+
+#: Axis classes, in increasing order of cost.
+TRACE_INVARIANT = "trace-invariant"
+TRACE_RESCALING = "trace-rescaling"
+TRACE_CHANGING = "trace-changing"
+
+#: Classification of every generator axis (the table above).
+AXES = {
+    "coefficients": TRACE_INVARIANT,
+    "tech_nm.power": TRACE_INVARIANT,
+    "tech_nm.frequency": TRACE_RESCALING,
+    "dvfs_ratio": TRACE_RESCALING,
+    "cores": TRACE_CHANGING,
+    "smt_ways": TRACE_CHANGING,
+}
+
+
+def sim_signature(machine):
+    """Hashable tuple of every simulation-visible machine field.
+
+    Two machines with equal signatures produce bit-identical traces
+    for the same (app, seed, duration): the scheduler sees core
+    topology, the exact per-busy-core clock-factor table and the SMT
+    throughput table; the memory model sees the LLC size; the GPU
+    model sees the device spec.  Absolute clocks, tech node, DVFS
+    point and energy coefficients are deliberately absent — that
+    absence is the simulate-once guarantee (pinned by the DSE
+    equivalence suite).
+    """
+    cpu = machine.cpu
+    gpu = machine.gpu
+    n_cores = len({lcpu.core for lcpu in build_topology(machine)})
+    return (
+        cpu.physical_cores,
+        cpu.smt_ways,
+        machine.smt_enabled,
+        machine.active_logical_cpus,
+        tuple(compute_clock_factor(cpu, busy, n_cores)
+              for busy in range(n_cores + 1)),
+        cpu.llc_mb,
+        tuple(sorted((cls.value, rate)
+                     for cls, rate in cpu.smt_throughput.items())),
+        machine.ram_gb,
+        (gpu.name, gpu.cuda_cores, gpu.clock_mhz, gpu.architecture,
+         gpu.vram_gb, gpu.has_nvenc, gpu.mining_optimized,
+         gpu.vr_capable, gpu.video_engine_slowdown),
+    )
+
+
+def partition_configs(machines):
+    """Group config indices by :func:`sim_signature`.
+
+    Returns ``{signature: [config index, ...]}`` with groups in
+    first-occurrence order and indices ascending — the deterministic
+    work plan of a campaign: one base simulation per key, analytic
+    scoring for every member.
+    """
+    groups = {}
+    for index, machine in enumerate(machines):
+        groups.setdefault(sim_signature(machine), []).append(index)
+    return groups

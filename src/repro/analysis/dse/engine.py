@@ -1,0 +1,258 @@
+"""The campaign engine: partition, simulate once, score many, verify.
+
+:func:`run_campaign` turns (apps x machine configs) into per-app
+Pareto frontiers while simulating only what the axis partition says it
+must:
+
+1. **Partition** the configs by trace-changing signature
+   (:func:`~repro.analysis.dse.axes.partition_configs`).
+2. **Simulate** one base run per (app, signature) — plus a seeded
+   sample of extra configs re-simulated *in full* purely to check the
+   analytic path against ground truth.  All runs go through one
+   :class:`~repro.harness.supervisor.SupervisedExecutor` sweep in
+   chunked batches, so campaign dispatch overhead is per-chunk, not
+   per-run, and a crashed grid point quarantines instead of killing
+   the campaign.
+3. **Score** every config of every group analytically from its
+   group's base run (:func:`~repro.analysis.dse.score.batch_score`).
+4. **Verify**: the sampled re-simulations are scored through the slow
+   path and compared — exact on TLP (integer-derived), relative
+   tolerance on energy/delay floats.  A campaign whose equivalence
+   check fails says so in its result rather than hiding it.
+
+The division of labour with the benchmark: the engine reports *what
+was simulated vs scored*; ``benchmarks/bench_dse.py`` turns that into
+configs-scored/s and the speedup over naive re-simulate-everything.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.dse.axes import partition_configs
+from repro.analysis.dse.pareto import pareto_frontier
+from repro.analysis.dse.score import batch_score, score_from_simulation
+from repro.harness.executor import make_spec
+from repro.harness.supervisor import SupervisedExecutor
+from repro.sim import SECOND
+
+#: Relative tolerance of the float equivalence check.  The two paths
+#: differ only in summation order (per-slice vs histogram-grouped) and
+#: kernel ``**`` rounding, both of which sit many orders below this.
+EQUIVALENCE_RTOL = 1e-6
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of the sampled analytic-vs-resimulation check."""
+
+    samples: int
+    tlp_exact: bool             # TLP agreed bit-for-bit on every sample
+    max_rel_err: float          # worst float deviation (energy/delay)
+    rtol: float
+    ok: bool
+
+    def to_payload(self):
+        return {
+            "samples": self.samples,
+            "tlp_exact": self.tlp_exact,
+            "max_rel_err": self.max_rel_err,
+            "rtol": self.rtol,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Simulation economy of one campaign."""
+
+    apps: int
+    configs: int
+    grid_points: int            # apps x configs
+    signatures: int             # distinct trace-changing groups
+    base_runs: int              # one simulation per (app, signature)
+    equivalence_runs: int       # extra simulations spent on checking
+    simulated_points: int       # grid points that paid for a simulation
+    analytic_fraction: float    # 1 - simulated/grid
+    failed_runs: int            # quarantined simulations
+
+    def to_payload(self):
+        return {
+            "apps": self.apps,
+            "configs": self.configs,
+            "grid_points": self.grid_points,
+            "signatures": self.signatures,
+            "base_runs": self.base_runs,
+            "equivalence_runs": self.equivalence_runs,
+            "simulated_points": self.simulated_points,
+            "analytic_fraction": self.analytic_fraction,
+            "failed_runs": self.failed_runs,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    apps: list
+    scores: dict                # app -> [ConfigScore | None] * configs
+    frontiers: dict             # app -> [ConfigScore], best-TLP first
+    stats: CampaignStats
+    equivalence: object         # EquivalenceReport | None
+    failures: list = field(default_factory=list)  # RunFailure records
+
+    def to_payload(self, include_scores=False):
+        payload = {
+            "apps": list(self.apps),
+            "stats": self.stats.to_payload(),
+            "equivalence": (self.equivalence.to_payload()
+                            if self.equivalence is not None else None),
+            "frontiers": {
+                app: [score.to_payload() for score in frontier]
+                for app, frontier in self.frontiers.items()
+            },
+            "failures": [f.to_payload() for f in self.failures],
+        }
+        if include_scores:
+            payload["scores"] = {
+                app: [s.to_payload() if s is not None else None
+                      for s in scores]
+                for app, scores in self.scores.items()
+            }
+        return payload
+
+
+def _sample_equivalence(apps, groups, samples, seed):
+    """Seeded sample of (app, config index) pairs to re-simulate.
+
+    Prefers non-representative configs (a representative's "re-
+    simulation" would be the base run itself); falls back to any pair
+    when the grid is too small.
+    """
+    non_rep = [(app, index) for app in apps
+               for members in groups.values() for index in members[1:]]
+    pool = non_rep or [(app, members[0]) for app in apps
+                       for members in groups.values()]
+    rng = random.Random(f"dse-equivalence:{seed}")
+    if samples >= len(pool):
+        return list(pool)
+    return sorted(rng.sample(pool, samples))
+
+
+def run_campaign(apps, machines, duration_us=SECOND, seed=0, jobs=None,
+                 chunk=4, cache=None, retries=0, deadline_s=None,
+                 equivalence_samples=8, rtol=EQUIVALENCE_RTOL,
+                 kernel=None, executor=None):
+    """Score every (app, config) grid point; simulate only per signature.
+
+    ``apps`` are registry names; ``machines`` the config list (e.g.
+    from :func:`repro.hardware.catalog.generate_machines`).  ``jobs``,
+    ``chunk``, ``cache``, ``retries`` and ``deadline_s`` configure the
+    supervised sweep (``executor`` overrides them with a prebuilt
+    one).  ``equivalence_samples`` configs are additionally
+    re-simulated in full and checked against their analytic scores
+    (0 disables the check).  Runs use streaming metrics — a campaign
+    keeps aggregates, not traces.
+    """
+    apps = list(apps)
+    machines = list(machines)
+    groups = partition_configs(machines)
+    group_list = list(groups.values())
+
+    plan = [(app, members) for app in apps for members in group_list]
+    specs = [make_spec(app, machine=machines[members[0]],
+                       duration_us=duration_us, seed=seed,
+                       streaming=True)
+             for app, members in plan]
+    checks = []
+    if equivalence_samples > 0:
+        checks = _sample_equivalence(apps, groups, equivalence_samples,
+                                     seed)
+        specs += [make_spec(app, machine=machines[index],
+                            duration_us=duration_us, seed=seed,
+                            streaming=True)
+                  for app, index in checks]
+
+    if executor is None:
+        executor = SupervisedExecutor(jobs=jobs, cache=cache,
+                                      retries=retries,
+                                      deadline_s=deadline_s, chunk=chunk,
+                                      seed=seed)
+    results = executor.map(specs)
+    base_runs = results[:len(plan)]
+    check_runs = results[len(plan):]
+
+    scores = {app: [None] * len(machines) for app in apps}
+    failed = 0
+    for (app, members), run in zip(plan, base_runs):
+        if not _is_run(run):
+            failed += 1
+            continue
+        for index, score in zip(members, batch_score(
+                app, run, [machines[i] for i in members],
+                indices=members, kernel=kernel)):
+            scores[app][index] = score
+
+    equivalence = None
+    if equivalence_samples > 0:
+        equivalence = _check_equivalence(checks, check_runs, machines,
+                                         scores, rtol)
+        failed += sum(1 for run in check_runs if not _is_run(run))
+
+    frontiers = {
+        app: pareto_frontier([s for s in scores[app] if s is not None])
+        for app in apps
+    }
+    simulated = len({(app, members[0]) for app, members in plan}
+                    | set(checks))
+    grid = len(apps) * len(machines)
+    stats = CampaignStats(
+        apps=len(apps),
+        configs=len(machines),
+        grid_points=grid,
+        signatures=len(groups),
+        base_runs=len(plan),
+        equivalence_runs=len(checks),
+        simulated_points=simulated,
+        analytic_fraction=1.0 - simulated / grid if grid else 0.0,
+        failed_runs=failed,
+    )
+    return CampaignResult(
+        apps=apps,
+        scores=scores,
+        frontiers=frontiers,
+        stats=stats,
+        equivalence=equivalence,
+        failures=list(getattr(executor, "failures", [])),
+    )
+
+
+def _is_run(result):
+    """True for a real run (vs a quarantined RunFailure slot)."""
+    return result is not None and hasattr(result, "tlp")
+
+
+def _check_equivalence(checks, check_runs, machines, scores, rtol):
+    """Compare sampled full re-simulations against analytic scores."""
+    samples = 0
+    tlp_exact = True
+    max_rel = 0.0
+    for (app, index), run in zip(checks, check_runs):
+        fast = scores[app][index]
+        if not _is_run(run) or fast is None:
+            continue
+        slow = score_from_simulation(app, run, machines[index],
+                                     config_index=index)
+        samples += 1
+        if slow.tlp != fast.tlp:
+            tlp_exact = False
+        for attr in ("wall_s", "energy_j", "edp_js"):
+            a, b = getattr(fast, attr), getattr(slow, attr)
+            denom = max(abs(a), abs(b), 1e-300)
+            max_rel = max(max_rel, abs(a - b) / denom)
+    return EquivalenceReport(
+        samples=samples,
+        tlp_exact=tlp_exact,
+        max_rel_err=max_rel,
+        rtol=rtol,
+        ok=samples > 0 and tlp_exact and max_rel <= rtol,
+    )

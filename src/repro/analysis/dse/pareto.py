@@ -1,0 +1,38 @@
+"""Pareto frontiers over scored configs: TLP up, energy-delay down.
+
+The campaign's headline question is a tradeoff: which configs are
+*undominated* — no other config offers both more thread-level
+parallelism (the paper's Eq.-1 metric) and a lower energy-delay
+product?  The frontier is the answer the paper's §V core-scaling
+discussion gestures at, computed instead of eyeballed.
+"""
+
+
+def dominates(a, b):
+    """True when score ``a`` Pareto-dominates ``b``.
+
+    Maximize ``tlp``, minimize ``edp_js``; domination is
+    no-worse-in-both and strictly-better-in-one.
+    """
+    return (a.tlp >= b.tlp and a.edp_js <= b.edp_js
+            and (a.tlp > b.tlp or a.edp_js < b.edp_js))
+
+
+def pareto_frontier(scores):
+    """The undominated subset of ``scores``, best-TLP first.
+
+    Single sort + sweep (O(n log n)): walking configs by descending
+    TLP, a config is on the frontier iff its energy-delay is strictly
+    below everything already kept.  Ties break on ``config_index`` so
+    the frontier is deterministic; of duplicate ``(tlp, edp)`` points
+    only the lowest-indexed survives (the rest are weakly dominated).
+    """
+    ordered = sorted(scores,
+                     key=lambda s: (-s.tlp, s.edp_js, s.config_index))
+    frontier = []
+    best_edp = None
+    for score in ordered:
+        if best_edp is None or score.edp_js < best_edp:
+            frontier.append(score)
+            best_edp = score.edp_js
+    return frontier

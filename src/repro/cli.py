@@ -32,6 +32,14 @@ Commands
     app model, detect lock-order deadlock cycles, compute work/span
     TLP bounds and AST-lint the app sources.  Nonzero exit when any
     finding is at/above ``--fail-on`` (default: warning).
+``dse``
+    Campaign-scale design-space exploration: score ``--configs``
+    generated machines (core count, SMT, tech node, DVFS, energy
+    coefficients) per app, simulating only one base run per
+    trace-changing signature and scoring the rest analytically from
+    activity histograms.  Prints per-app Pareto frontiers (Eq.-1 TLP
+    vs energy-delay) and the analytic-vs-resimulation equivalence
+    verdict; nonzero exit when the check fails or runs quarantine.
 """
 
 import argparse
@@ -415,6 +423,55 @@ def cmd_lint(args, out):
     return 1 if report.failed(args.fail_on) else 0
 
 
+def cmd_dse(args, out):
+    if _check_exec_args(args, out):
+        return 2
+    if args.configs < 1:
+        out("error: --configs must be >= 1")
+        return 2
+    if args.chunk < 1:
+        out("error: --chunk must be >= 1")
+        return 2
+    from repro.analysis.dse import run_campaign
+    from repro.hardware.catalog import generate_machines
+
+    names = (tuple(args.apps.split(",")) if args.apps
+             else ("handbrake", "premiere", "excel"))
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        out(f"error: unknown applications: {', '.join(unknown)}")
+        return 2
+    machines = generate_machines(args.configs, seed=args.seed)
+    deadline_us = getattr(args, "deadline_us", None)
+    result = run_campaign(
+        names, machines,
+        duration_us=int(args.duration * SECOND),
+        seed=args.seed,
+        jobs=args.jobs,
+        chunk=args.chunk,
+        cache=_cache_from_args(args),
+        retries=args.retries or 0,
+        deadline_s=deadline_us / 1e6 if deadline_us else None,
+        equivalence_samples=args.equivalence)
+    from repro.reporting import render_dse_frontiers
+
+    out(render_dse_frontiers(result, top=args.top))
+    if result.failures:
+        from repro.reporting import render_failures
+
+        out(render_failures(result.failures))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(result.to_payload(include_scores=args.scores),
+                      handle, indent=2, sort_keys=True)
+        out(f"saved JSON results to {args.json}")
+    bad = bool(result.failures) or (
+        result.equivalence is not None and not result.equivalence.ok)
+    return 1 if bad else 0
+
+
 def cmd_compare(args, out):
     from repro.analysis import compare_suites, render_comparison
     from repro.harness.persistence import load_suite
@@ -596,6 +653,58 @@ def build_parser():
         "--fail-on", default="warning",
         choices=("error", "warning", "info"),
         help="minimum severity that makes the exit status nonzero")
+
+    dse_parser = sub.add_parser(
+        "dse",
+        help="design-space exploration: simulate once per signature, "
+             "score every config analytically, print Pareto frontiers")
+    dse_parser.add_argument(
+        "--apps", default=None,
+        help="comma-separated registry keys "
+             "(default: handbrake,premiere,excel)")
+    dse_parser.add_argument(
+        "--configs", type=int, default=200, metavar="N",
+        help="generated machine configs in the campaign grid")
+    dse_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the config generator, run seeds and the "
+             "equivalence sample")
+    dse_parser.add_argument(
+        "--duration", type=float, default=1.0,
+        help="simulated seconds per run (campaigns amortize one run "
+             "over many configs; keep this modest)")
+    dse_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel simulation processes (default: auto; 0 = one "
+             "per CPU)")
+    dse_parser.add_argument(
+        "--chunk", type=int, default=4, metavar="K",
+        help="specs per supervisor pipe round-trip (batched dispatch)")
+    dse_parser.add_argument(
+        "--equivalence", type=int, default=8, metavar="N",
+        help="configs re-simulated in full to check the analytic path "
+             "(0 disables the check)")
+    dse_parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="frontier points printed per app (tables only; JSON "
+             "keeps all)")
+    dse_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="reuse simulation results cached under DIR")
+    dse_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry a failed run up to N times")
+    dse_parser.add_argument(
+        "--deadline-us", type=int, default=None, metavar="US",
+        help="wall-clock budget per run attempt, in microseconds")
+    dse_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also save the campaign result as JSON")
+    dse_parser.add_argument(
+        "--scores", action="store_true",
+        help="include every grid point's score in the JSON "
+             "(not just the frontiers)")
+    add_hotpath_args(dse_parser)
     return parser
 
 
@@ -607,6 +716,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "validate": cmd_validate,
     "lint": cmd_lint,
+    "dse": cmd_dse,
 }
 
 

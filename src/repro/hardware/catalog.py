@@ -1,11 +1,17 @@
-"""Catalog of the concrete hardware used across the paper's 18 years.
+"""Catalog of the concrete hardware used across the paper's 18 years —
+plus the seeded parametric machine generator behind the DSE grid.
 
 Sources: Table I of the paper (2018 machine), Blake et al. ISCA'10
 (2010 machine), Flautner et al. ASPLOS'00 (2000 machine), and the
 NVIDIA specification sheets the paper cites for the GTX 285/680/1080Ti.
+The technology/DVFS scaling tables follow the lumos modelling
+convention (ITRS projections normalized to a 45 nm reference point).
 """
 
-from repro.hardware.specs import CpuSpec, GpuSpec, MachineSpec
+import random
+
+from repro.hardware.specs import CpuSpec, GpuSpec, MachineSpec, ParametricMachine
+from repro.os.energy import EnergyCoefficients, default_coefficients
 from repro.os.work import WorkClass
 
 #: Combined two-sibling throughput per work class, relative to a lone
@@ -116,3 +122,172 @@ GPUS = {
     "gtx-680": GTX_680,
     "gtx-285": GTX_285,
 }
+
+
+# -- parametric machines (the DSE grid) ---------------------------------
+#
+# ITRS-derived scaling tables normalized to a 45 nm reference node, in
+# the lumos style: each tech node scales nominal voltage, achievable
+# frequency and switching power relative to the reference.  The DSE
+# engine treats frequency as *trace-rescaling* (the schedule replays
+# with a different tick length) and voltage/power as *trace-invariant*
+# (re-scored, never re-simulated).
+
+#: Process nodes of the parametric family, newest last.
+TECH_NODES = (45, 32, 22, 16, 11, 8)
+
+#: Nominal supply voltage at 45 nm (V); nodes scale it down.
+VDD_BASE_V = 1.0
+
+#: Per-node nominal Vdd relative to :data:`VDD_BASE_V` (ITRS).
+VDD_SCALE = {45: 1.0, 32: 0.93, 22: 0.84, 16: 0.75, 11: 0.68, 8: 0.62}
+
+#: Per-node achievable frequency relative to the 45 nm reference.
+FREQ_SCALE = {45: 1.0, 32: 1.09, 22: 2.38, 16: 3.21, 11: 4.17, 8: 3.85}
+
+#: Per-node switching power relative to the 45 nm reference.
+POWER_SCALE = {45: 1.0, 32: 0.66, 22: 0.54, 16: 0.38, 11: 0.25, 8: 0.12}
+
+#: Per-node threshold voltage (V) — the floor of DVFS undervolting.
+VTH_V = {45: 0.3201, 32: 0.297, 22: 0.2673, 16: 0.2409, 11: 0.2178,
+         8: 0.198}
+
+#: Overclock headroom: DVFS ratios may exceed nominal up to 1.3x.
+DVFS_MAX = 1.3
+
+#: 45 nm reference base clock of the parametric family (GHz).  The
+#: paper machine's 3.7 GHz anchors it so a 45 nm / dvfs=1.0 parametric
+#: machine and the i7-8700K share a time base.
+REF_BASE_CLOCK_GHZ = CORE_I7_8700K.base_clock_ghz
+
+#: Turbo headroom ratio, held fixed across the whole parametric family
+#: (the 8700K's 4.7/3.7).  The scheduler reads only the turbo/base
+#: *ratio*, so uniform frequency scaling never perturbs the schedule.
+TURBO_RATIO = CORE_I7_8700K.turbo_clock_ghz / CORE_I7_8700K.base_clock_ghz
+
+
+def dvfs_bounds(tech_nm):
+    """``(lo, hi)`` admissible DVFS voltage ratios at a tech node.
+
+    The lower bound keeps Vdd above the node's threshold voltage; the
+    upper bound is the fixed overclock headroom.
+    """
+    lo = VTH_V[tech_nm] / (VDD_SCALE[tech_nm] * VDD_BASE_V)
+    return lo, DVFS_MAX
+
+
+def clock_ghz(tech_nm, dvfs_ratio):
+    """Effective base clock of a parametric machine (GHz): reference x
+    node frequency scaling x DVFS ratio."""
+    return REF_BASE_CLOCK_GHZ * FREQ_SCALE[tech_nm] * dvfs_ratio
+
+
+def effective_clock_ghz(machine):
+    """The clock a machine *actually* runs at, for scoring purposes.
+
+    Parametric machines derive it from their tech/DVFS point; catalog
+    machines run at their spec'd base clock.
+    """
+    tech = getattr(machine, "tech_nm", None)
+    if tech is None:
+        return machine.cpu.base_clock_ghz
+    return clock_ghz(tech, machine.dvfs_ratio)
+
+
+def parametric_cpu(cores, smt_ways=2, tech_nm=45, dvfs_ratio=1.0,
+                   llc_mb=12):
+    """A generated :class:`CpuSpec` at one DSE grid point.
+
+    The spec'd clocks are deliberately the *reference* pair (the
+    8700K's 3.7/4.7 GHz) for the entire family: the scheduler models
+    only relative turbo behaviour — it consumes the clocks through the
+    per-busy-core factor of :func:`repro.os.scheduler.
+    compute_clock_factor` — so holding the sim-visible pair fixed
+    makes the schedule bit-identical across every frequency point *by
+    construction* (no float-rounding luck involved), which is what
+    lets the DSE engine treat frequency as a trace-rescaling axis.
+    The machine's actual frequency is a scoring-layer quantity:
+    :func:`effective_clock_ghz` derives it from the tech node and
+    DVFS ratio the :class:`~repro.hardware.specs.ParametricMachine`
+    carries.
+    """
+    return CpuSpec(
+        name=(f"param-{cores}c{smt_ways}t-{tech_nm}nm"
+              f"-v{dvfs_ratio:.4f}"),
+        physical_cores=cores,
+        smt_ways=smt_ways,
+        base_clock_ghz=REF_BASE_CLOCK_GHZ,
+        turbo_clock_ghz=CORE_I7_8700K.turbo_clock_ghz,
+        llc_mb=llc_mb,
+        smt_throughput=dict(_SMT_THROUGHPUT),
+    )
+
+
+def parametric_machine(cores, smt_ways=2, tech_nm=45, dvfs_ratio=1.0,
+                       gpu=GTX_1080_TI, coefficients=None, ram_gb=64):
+    """One :class:`~repro.hardware.specs.ParametricMachine` grid point.
+
+    Validates the DVFS point against :func:`dvfs_bounds`; the machine
+    exposes ``cores * smt_ways`` logical CPUs (SMT is "off" simply by
+    ``smt_ways=1``, so the whole family uses one code path).
+    """
+    if tech_nm not in VDD_SCALE:
+        raise ValueError(f"unknown tech node {tech_nm} nm; "
+                         f"choose from {TECH_NODES}")
+    lo, hi = dvfs_bounds(tech_nm)
+    if not lo <= dvfs_ratio <= hi:
+        raise ValueError(
+            f"dvfs_ratio={dvfs_ratio:.4f} outside [{lo:.4f}, {hi:.4f}] "
+            f"at {tech_nm} nm")
+    return ParametricMachine(
+        cpu=parametric_cpu(cores, smt_ways, tech_nm, dvfs_ratio),
+        gpu=gpu,
+        ram_gb=ram_gb,
+        os_name="parametric",
+        tech_nm=tech_nm,
+        dvfs_ratio=dvfs_ratio,
+        coefficients=coefficients,
+    )
+
+
+#: Default core-count / SMT-way choices of the generator.
+GENERATOR_CORES = (2, 4, 6, 8, 12, 16)
+GENERATOR_SMT_WAYS = (1, 2)
+
+
+def generate_machines(count, seed=0, cores=GENERATOR_CORES,
+                      smt_ways=GENERATOR_SMT_WAYS, tech_nodes=TECH_NODES,
+                      coefficient_jitter=0.25, gpu=GTX_1080_TI):
+    """``count`` seed-determined parametric machines.
+
+    Axes drawn per machine: core count and SMT ways (trace-changing),
+    tech node and a DVFS point uniform inside the node's admissible
+    band (trace-rescaling), and jittered energy coefficients —
+    per-class active watts, idle watts and the clock exponent scaled
+    by up to ``±coefficient_jitter`` (trace-invariant).  The same
+    ``(count, seed, axes)`` always yields the same list, so a DSE
+    campaign is reproducible end to end.
+    """
+    rng = random.Random(f"dse-machines:{seed}")
+    machines = []
+    for _ in range(count):
+        tech = rng.choice(tech_nodes)
+        lo, hi = dvfs_bounds(tech)
+        jitter = (lambda: 1.0 + rng.uniform(-coefficient_jitter,
+                                            coefficient_jitter))
+        base = default_coefficients()
+        coefficients = EnergyCoefficients(
+            active_power_w={cls: watts * jitter()
+                            for cls, watts in base.active_power_w.items()},
+            cpu_idle_w=base.cpu_idle_w * jitter(),
+            clock_exponent=base.clock_exponent + rng.uniform(-0.2, 0.2),
+        )
+        machines.append(parametric_machine(
+            cores=rng.choice(cores),
+            smt_ways=rng.choice(smt_ways),
+            tech_nm=tech,
+            dvfs_ratio=rng.uniform(lo, hi),
+            gpu=gpu,
+            coefficients=coefficients,
+        ))
+    return machines

@@ -118,3 +118,33 @@ class MachineSpec:
     def with_gpu(self, gpu):
         """A copy of this machine with a different GPU installed."""
         return replace(self, gpu=gpu)
+
+
+@dataclass(frozen=True)
+class ParametricMachine(MachineSpec):
+    """A generated machine config — one point of the DSE grid.
+
+    Extends the concrete catalog spec with the scaling axes of the
+    design-space exploration engine (:mod:`repro.analysis.dse`):
+
+    * ``tech_nm`` — process node; scales frequency, voltage and power
+      through the ITRS-derived tables in
+      :mod:`repro.hardware.catalog`.
+    * ``dvfs_ratio`` — voltage ratio relative to the node's nominal
+      point; frequency follows linearly, dynamic power cubically.
+    * ``coefficients`` — an
+      :class:`~repro.os.energy.EnergyCoefficients` bundle picked up by
+      the energy model (``None`` keeps the defaults).
+
+    None of these fields is read by the scheduler: the simulated
+    schedule depends only on core count, SMT configuration and the
+    turbo *ratio* (which the parametric family holds fixed), so two
+    parametric machines differing only in tech node, DVFS point or
+    coefficients replay the identical trace — the invariance the DSE
+    axis partition is built on, and the reason these axes can be
+    scored without re-simulating.
+    """
+
+    tech_nm: int = 45
+    dvfs_ratio: float = 1.0
+    coefficients: object = None  # os.energy.EnergyCoefficients

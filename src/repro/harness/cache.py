@@ -103,12 +103,31 @@ def _canonical_app(app, config):
 _NON_PHYSICAL_KNOBS = frozenset({"validate"})
 
 
+def machine_digest(machine):
+    """SHA-256 hex digest of a machine spec's full canonical form.
+
+    The digest covers the concrete dataclass type and *every* field —
+    for a :class:`~repro.hardware.specs.ParametricMachine` that
+    includes the tech node, DVFS point and the attached energy
+    coefficients, none of which exist on a plain catalog spec.  Keyed
+    separately in :func:`spec_key` so a generated DSE config can never
+    collide with a catalog machine (or with another grid point) even
+    if their scheduler-visible fields coincide.
+    """
+    blob = json.dumps(_canonical(machine), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def spec_key(spec, code_version=None):
     """Canonical SHA-256 hex key of a :class:`RunSpec`, or ``None``."""
     try:
+        machine = spec.kwargs.get("machine")
         payload = {
             "code": code_version or repro.__version__,
             "app": _canonical_app(spec.app, spec.config),
+            "machine": (machine_digest(machine)
+                        if machine is not None else None),
             "kwargs": _canonical({k: v for k, v in spec.kwargs.items()
                                   if k not in _NON_PHYSICAL_KNOBS}),
         }

@@ -294,4 +294,10 @@ def resolve_executor(jobs=None, executor=None, cache=None):
         return executor
     if jobs is None or jobs == 1:
         return SerialExecutor(cache=cache)
+    if jobs == 0 and default_jobs() == 1:
+        # Auto mode on a single usable CPU: a process pool is pure
+        # IPC/startup overhead (the 0.67x pool result in
+        # BENCH_hotpath.json), so auto degrades to serial.  An
+        # explicit jobs=N pool is still honoured.
+        return SerialExecutor(cache=cache)
     return ParallelExecutor(jobs=jobs, cache=cache)

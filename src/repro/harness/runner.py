@@ -47,6 +47,14 @@ class SingleRun:
     process_names: set
     memory_counters: object     # os.ProcessCounters (aggregated)
     energy: object = None       # os.EnergyReport for the app's processes
+    #: ``{(work_class, clock_factor): µs}`` for the app's processes —
+    #: the exact integral the energy report was computed from, kept so
+    #: the DSE engine can re-score this run under other energy
+    #: coefficients without re-simulating (see repro.analysis.dse).
+    activity: dict = None
+    #: Total GPU engine-busy microseconds over the run's window (the
+    #: numerator of the energy model's GPU busy fraction).
+    gpu_busy_us: int = 0
     trace: object = None        # EtlTrace, only when keep_trace=True
     cpu_table: object = None
     gpu_table: object = None
@@ -250,6 +258,8 @@ def run_app_once(app, machine=None, duration_us=DEFAULT_DURATION_US,
         process_names=set(processes),
         memory_counters=memory,
         energy=energy,
+        activity=kernel.energy_model.activity(processes),
+        gpu_busy_us=gpu.busy_us(),
         trace=trace if keep_trace else None,
         cpu_table=cpu_table if keep_trace else None,
         gpu_table=gpu_table if keep_trace else None,

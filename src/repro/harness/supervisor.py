@@ -192,14 +192,20 @@ class SweepJournal:
 
 
 def _worker_main(conn):
-    """Persistent worker loop: recv a spec, send back the outcome.
+    """Persistent worker loop: recv a chunk of specs, send back one
+    batched outcome message.
 
-    Exceptions never cross the pipe as objects (a custom exception
-    class may not unpickle in the parent); they cross as ``(index,
-    "err", type name, message, formatted traceback)`` tuples, which is
-    also what preserves the *worker-side* traceback for reporting.
+    A job is ``(indices, specs)`` — K grid points resolved in one pipe
+    round-trip, so per-run IPC latency is paid once per chunk rather
+    than once per run (the campaign-scale fix for per-run dispatch
+    overhead dominating small simulations).  The reply is ``(indices,
+    "batch", outcomes)`` with one outcome per spec, in order:
+    ``("ok", payload)`` or ``("err", type name, message, formatted
+    traceback)``.  Exceptions never cross the pipe as objects (a
+    custom exception class may not unpickle in the parent); the
+    formatted worker-side traceback is what survives for reporting.
 
-    Results cross either directly (pickle channel) or as a
+    Result payloads cross either directly (pickle channel) or as a
     :class:`~repro.harness.transport.ShmHandle` naming a shared-memory
     segment the run was laid out in columnar form
     (``REPRO_TRANSPORT``); the parent's reap path decodes both.
@@ -211,23 +217,30 @@ def _worker_main(conn):
             return
         if job is None:
             return
-        index, spec = job
+        indices, specs = job
+        outcomes = []
+        for spec in specs:
+            try:
+                outcome = ("ok", encode_for_pipe(execute_spec(spec)))
+            except KeyboardInterrupt:
+                return
+            except BaseException as exc:
+                outcome = ("err", type(exc).__name__, str(exc),
+                           traceback.format_exc())
+            outcomes.append(outcome)
         try:
-            payload = (index, "ok", encode_for_pipe(execute_spec(spec)))
-        except KeyboardInterrupt:
-            return
-        except BaseException as exc:
-            payload = (index, "err", type(exc).__name__, str(exc),
-                       traceback.format_exc())
-        try:
-            conn.send(payload)
+            conn.send((indices, "batch", outcomes))
         except KeyboardInterrupt:
             return
         except Exception as exc:
+            # Some payload would not pickle: degrade every slot to an
+            # error rather than wedging the pipe.
             try:
-                conn.send((index, "err", type(exc).__name__,
-                           f"result not transferable: {exc}",
-                           traceback.format_exc()))
+                conn.send((indices, "batch", [
+                    ("err", type(exc).__name__,
+                     f"result not transferable: {exc}",
+                     traceback.format_exc())
+                    for _ in specs]))
             except Exception:
                 return
 
@@ -237,7 +250,7 @@ class _Worker:
 
     def __init__(self, ctx):
         self.ctx = ctx
-        self.job = None         # (index, attempt, deadline_wall | None)
+        self.job = None         # ([(index, attempt), ...], deadline | None)
         self._spawn()
 
     def _spawn(self):
@@ -247,15 +260,21 @@ class _Worker:
         self.proc.start()
         child.close()
 
-    def assign(self, index, attempt, spec, deadline_s):
-        deadline = (time.monotonic() + deadline_s
+    def assign(self, entries, specs, deadline_s):
+        """Send a chunk: ``entries`` is ``[(index, attempt), ...]``.
+
+        The chunk's wall-clock budget is ``deadline_s`` per member —
+        K serial runs legitimately take K deadlines, so the watchdog
+        scales with the chunk rather than killing healthy batches.
+        """
+        deadline = (time.monotonic() + deadline_s * len(entries)
                     if deadline_s is not None else None)
-        self.conn.send((index, spec))
-        self.job = (index, attempt, deadline)
+        self.conn.send(([index for index, _ in entries], specs))
+        self.job = (list(entries), deadline)
 
     def overdue(self, now):
-        return self.job is not None and self.job[2] is not None \
-            and now >= self.job[2]
+        return self.job is not None and self.job[1] is not None \
+            and now >= self.job[1]
 
     def respawn(self):
         self.discard()
@@ -297,6 +316,12 @@ class SupervisedExecutor:
     — except that a ``deadline_s`` forces process isolation even for
     ``jobs=1``, because an in-process run cannot be killed.
 
+    ``chunk`` batches K specs per worker pipe round-trip: results come
+    back as one message per chunk, so per-run dispatch latency is paid
+    ``1/K`` times — the campaign-scale knob for sweeps of many small
+    runs.  Deadlines scale with the chunk (K runs get K budgets) and
+    retries always re-run as singletons.
+
     ``journal`` writes a fresh checkpoint journal; ``resume`` loads an
     existing one, verifies it describes this exact sweep, restores
     completed runs via the result cache and continues appending to the
@@ -307,17 +332,21 @@ class SupervisedExecutor:
     """
 
     def __init__(self, jobs=None, cache=None, retries=0, deadline_s=None,
-                 backoff_s=0.0, seed=0, journal=None, resume=None):
+                 backoff_s=0.0, seed=0, journal=None, resume=None,
+                 chunk=1):
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
         if jobs is not None and jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = auto)")
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
         if journal is not None and resume is not None:
             raise ValueError("pass either journal (fresh) or resume, "
                              "not both")
         self.jobs = jobs
+        self.chunk = chunk
         self.retries = retries
         self.deadline_s = deadline_s
         self.backoff_s = backoff_s
@@ -438,10 +467,18 @@ class SupervisedExecutor:
     def _pool_size(self, n_pending):
         """Worker count, or 0 for in-process serial execution."""
         jobs = self.jobs
+        if jobs == 0:
+            # Auto mode clamps to the usable CPUs, and a one-CPU
+            # machine gets no pool at all: a single pipe worker is
+            # pure IPC overhead (the 0.67x pool-shm result in
+            # BENCH_hotpath.json).  Explicit jobs=N keeps its pool.
+            jobs = default_jobs()
+            if jobs == 1:
+                jobs = None
         if jobs is None or jobs == 1:
             # Serial — unless a deadline demands a killable worker.
             return 1 if self.deadline_s is not None else 0
-        return min(jobs or default_jobs(), n_pending)
+        return min(jobs, n_pending)
 
     def _run_serial(self, specs, keys, items, results, journal):
         for index in items:
@@ -497,46 +534,81 @@ class SupervisedExecutor:
         for worker in workers:
             if worker.job is not None or not queue:
                 continue
-            for _ in range(len(queue)):
-                index, attempt, not_before = queue.popleft()
-                if not_before > now:
-                    queue.append((index, attempt, not_before))
-                    continue
-                try:
-                    worker.assign(index, attempt, specs[index],
-                                  self.deadline_s)
-                except (OSError, ValueError):
-                    # The worker died between runs; give the spec back
-                    # and bring up a replacement.
-                    queue.appendleft((index, attempt, not_before))
-                    worker.respawn()
+            entries = self._take_chunk(queue, now)
+            if not entries:
+                continue
+            try:
+                worker.assign(entries, [specs[i] for i, _ in entries],
+                              self.deadline_s)
+            except (OSError, ValueError):
+                # The worker died between runs; give the chunk back
+                # and bring up a replacement.
+                for index, attempt in reversed(entries):
+                    queue.appendleft((index, attempt, now))
+                worker.respawn()
+
+    def _take_chunk(self, queue, now):
+        """Pop up to ``chunk`` ready first-attempt entries (one rotation
+        of the queue), or a single ready retry.
+
+        Retries always travel alone: a singleton keeps the deadline
+        budget per-run precise and a flaky spec from re-poisoning a
+        whole batch.
+        """
+        entries = []
+        for _ in range(len(queue)):
+            if len(entries) >= self.chunk:
                 break
+            index, attempt, not_before = queue.popleft()
+            if not_before > now or (attempt > 1 and entries):
+                queue.append((index, attempt, not_before))
+                continue
+            entries.append((index, attempt))
+            if attempt > 1:
+                break
+        return entries
 
     def _reap(self, specs, keys, worker, results, journal, queue):
-        """Handle one ready pipe: a result, an error, or a dead worker.
+        """Handle one ready pipe: a batched outcome or a dead worker.
 
-        Returns 1 when the grid point is finally resolved, 0 when it
-        was re-queued for another attempt.
+        Returns the number of grid points finally resolved (the rest
+        were re-queued for another attempt).
         """
-        index, attempt, _ = worker.job
+        entries, _ = worker.job
         try:
             message = worker.conn.recv()
         except (EOFError, OSError):
-            # The worker died mid-run (segfault, OOM-kill, hard exit).
+            # The worker died mid-chunk (segfault, OOM-kill, hard
+            # exit).  Results are batched per chunk, so nothing from
+            # this chunk survived; every member is charged one failed
+            # attempt (retries re-run as singletons).
             exitcode = worker.proc.exitcode
             worker.respawn()
-            self.executed += 1
-            if self._retry(index, attempt, queue):
-                return 0
-            self._fail(specs, keys, index, "crash", attempt,
-                       f"worker process died (exit code {exitcode})",
-                       results, journal)
-            return 1
+            resolved = 0
+            for index, attempt in entries:
+                self.executed += 1
+                if self._retry(index, attempt, queue):
+                    continue
+                self._fail(specs, keys, index, "crash", attempt,
+                           f"worker process died (exit code {exitcode})",
+                           results, journal)
+                resolved += 1
+            return resolved
         worker.job = None
-        self.executed += 1
-        if message[1] == "ok":
+        _, _, outcomes = message
+        resolved = 0
+        for (index, attempt), outcome in zip(entries, outcomes):
+            self.executed += 1
+            resolved += self._settle(specs, keys, index, attempt,
+                                     outcome, results, journal, queue)
+        return resolved
+
+    def _settle(self, specs, keys, index, attempt, outcome, results,
+                journal, queue):
+        """Resolve one chunk member's outcome; 1 if final, 0 if retried."""
+        if outcome[0] == "ok":
             try:
-                result = decode_from_pipe(message[2])
+                result = decode_from_pipe(outcome[1])
             except Exception as exc:
                 # The segment vanished or would not decode: treat it
                 # like any other failed attempt (retry, then
@@ -551,7 +623,7 @@ class SupervisedExecutor:
             self._complete(specs, keys, index, result, results,
                            journal)
             return 1
-        _, _, exc_name, exc_message, remote_tb = message
+        _, exc_name, exc_message, remote_tb = outcome
         if self._retry(index, attempt, queue):
             return 0
         self._fail(specs, keys, index,
@@ -563,26 +635,31 @@ class SupervisedExecutor:
 
     def _expire(self, specs, keys, worker, results, journal, queue):
         """Kill a worker that blew its deadline; retry or quarantine."""
-        index, attempt, _ = worker.job
-        # The run may have finished in the race window between the
-        # deadline check and now; drain the pipe so a shared-memory
-        # result that will never be decoded is unlinked, not leaked.
+        entries, _ = worker.job
+        # The chunk may have finished in the race window between the
+        # deadline check and now; drain the pipe so shared-memory
+        # results that will never be decoded are unlinked, not leaked.
         try:
             while worker.conn.poll(0):
                 message = worker.conn.recv()
-                if message[1] == "ok" and isinstance(message[2], ShmHandle):
-                    discard_result(message[2])
+                for outcome in message[2]:
+                    if outcome[0] == "ok" and isinstance(outcome[1],
+                                                         ShmHandle):
+                        discard_result(outcome[1])
         except (EOFError, OSError):
             pass
         worker.respawn()
-        self.executed += 1
-        if self._retry(index, attempt, queue):
-            return 0
-        self._fail(specs, keys, index, "deadline", attempt,
-                   f"run exceeded its {self.deadline_s:g}s wall-clock "
-                   f"deadline; worker terminated",
-                   results, journal)
-        return 1
+        resolved = 0
+        for index, attempt in entries:
+            self.executed += 1
+            if self._retry(index, attempt, queue):
+                continue
+            self._fail(specs, keys, index, "deadline", attempt,
+                       f"chunk exceeded its {self.deadline_s:g}s-per-run "
+                       f"wall-clock deadline; worker terminated",
+                       results, journal)
+            resolved += 1
+        return resolved
 
     # -- bookkeeping ---------------------------------------------------
 

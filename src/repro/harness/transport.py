@@ -74,6 +74,15 @@ def transport_backend(override=None):
             f"unknown transport {value!r}; choose from {TRANSPORT_CHOICES}")
     if value == "pickle":
         return "pickle"
+    if value == "auto":
+        # Mirror the executors' auto rule: on a single usable CPU the
+        # pools degrade to in-process execution, so segment setup per
+        # result would be pure overhead — auto rides the pipe there.
+        # An explicit ``shm`` still forces shared memory.
+        from repro.harness.executor import default_jobs
+
+        if default_jobs() == 1:
+            return "pickle"
     return "shm" if shm_available() else "pickle"
 
 

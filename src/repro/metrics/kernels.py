@@ -216,6 +216,51 @@ def clipped_busy_sum(starts, stops, window_start, window_stop):
     return int(spans[spans > 0].sum())
 
 
+def batch_active_energy(t_us, class_idx, clock_factors, active_power_w,
+                        exponents, kernel=None):
+    """Active CPU joules of one activity histogram under N coefficient
+    sets — the DSE re-scoring primitive.
+
+    The histogram (see :meth:`repro.os.energy.EnergyModel.activity`)
+    arrives flattened into K parallel entries: ``t_us[k]`` integer
+    microseconds, ``class_idx[k]`` a column index into the per-config
+    power table, ``clock_factors[k]`` the turbo multiplier.  Configs
+    are the other axis: ``active_power_w[n][c]`` watts for config ``n``
+    and class column ``c``, ``exponents[n]`` the dynamic-power
+    exponent.  Returns a list of N joule totals, each
+
+    ``sum_k  active_power_w[n][class_idx[k]]
+             * clock_factors[k] ** exponents[n] * t_us[k] / 1e6``
+
+    accumulated in ``k`` order on both backends.  The vector backend
+    runs one fused numpy pass per histogram entry over all N configs
+    (K is tiny — work classes x clock levels — while N is the campaign
+    grid, so the N axis is the one worth vectorizing).  Unlike the
+    integer sweep kernels above, the two backends agree to float
+    tolerance rather than bit-for-bit: ``numpy`` may fuse ``**`` with
+    SIMD rounding.  The DSE equivalence suite compares with a relative
+    tolerance accordingly.
+    """
+    n_configs = len(exponents)
+    if _np is not None and vector_enabled(kernel) and n_configs:
+        power = _np.asarray(active_power_w, dtype=_np.float64)
+        alpha = _np.asarray(exponents, dtype=_np.float64)
+        totals = _np.zeros(n_configs, dtype=_np.float64)
+        for k, wall_us in enumerate(t_us):
+            totals += (power[:, class_idx[k]]
+                       * clock_factors[k] ** alpha
+                       * wall_us / 1e6)
+        return totals.tolist()
+    totals = [0.0] * n_configs
+    for k, wall_us in enumerate(t_us):
+        col = class_idx[k]
+        factor = clock_factors[k]
+        for n in range(n_configs):
+            totals[n] += (active_power_w[n][col]
+                          * factor ** exponents[n] * wall_us / 1e6)
+    return totals
+
+
 def interned_mask(ids, name_table, processes):
     """Row mask selecting rows whose interned ``ids`` name one of
     ``processes`` (numpy backend only; returns ``None`` otherwise)."""

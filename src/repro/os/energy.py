@@ -14,9 +14,25 @@ be made inside the simulation:
 
 Absolute joules are nominal; the model is for *comparisons* (which
 browser, which core count, SMT on/off), like every other metric here.
+
+The coefficients are **parametric**: an :class:`EnergyCoefficients`
+bundle (per-class active watts, package idle watts, the clock
+exponent, GPU TDP override) can be attached to a machine spec — the
+design-space-exploration grid (:mod:`repro.analysis.dse`) sweeps these
+coefficients without re-simulating, because they never influence the
+schedule.  A machine without coefficients uses the module defaults,
+bit-identically to the pre-parametric model.
+
+The model also keeps an **activity histogram** — microseconds of CPU
+time per ``(process, work class, clock factor)`` triple.  The
+histogram is the exact integral the energy report is computed from,
+exposed so post-hoc re-scoring under *different* coefficients can
+reproduce a full re-simulation's energy without re-running the
+scheduler (the DSE fast path; the property suite pins the
+equivalence).
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.os.work import WorkClass
 
@@ -35,6 +51,39 @@ _CLOCK_EXPONENT = 2.0
 #: GPU TDPs (W) by architecture for the busy share.
 _GPU_TDP_W = {"Pascal": 250.0, "Kepler": 195.0, "Tesla": 204.0}
 _GPU_IDLE_W = 12.0
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """The tunable constants of the energy model, as one value.
+
+    ``active_power_w`` maps a :class:`~repro.os.work.WorkClass` to the
+    per-logical-CPU active watts at base clock; ``clock_exponent`` is
+    the dynamic-power exponent applied to the turbo clock factor;
+    ``gpu_tdp_w=None`` falls back to the per-architecture table.
+    These knobs are *trace-invariant*: they change reported joules,
+    never the schedule, which is what lets the DSE engine sweep them
+    by re-scoring instead of re-simulating.
+    """
+
+    active_power_w: dict = field(
+        default_factory=lambda: dict(_ACTIVE_POWER_W))
+    cpu_idle_w: float = _CPU_IDLE_W
+    clock_exponent: float = _CLOCK_EXPONENT
+    gpu_tdp_w: float = None
+    gpu_idle_w: float = _GPU_IDLE_W
+
+
+def default_coefficients():
+    """The module-default coefficient bundle (the pre-parametric model)."""
+    return EnergyCoefficients()
+
+
+def gpu_tdp_for(coefficients, gpu_spec):
+    """Effective GPU TDP (W): the override, else the architecture table."""
+    if coefficients.gpu_tdp_w is not None:
+        return coefficients.gpu_tdp_w
+    return _GPU_TDP_W.get(gpu_spec.architecture, 220.0)
 
 
 @dataclass
@@ -67,10 +116,20 @@ class EnergyReport:
 
 
 class EnergyModel:
-    """Accumulates CPU slice energy; reads GPU energy from the device."""
+    """Accumulates CPU slice energy; reads GPU energy from the device.
 
-    def __init__(self, machine):
+    ``coefficients`` defaults to the machine spec's ``coefficients``
+    attribute when it carries one (parametric machines from
+    :func:`repro.hardware.catalog.parametric_machine` do), else to the
+    module defaults — so catalog machines keep their historical joule
+    values bit-for-bit.
+    """
+
+    def __init__(self, machine, coefficients=None):
         self.machine = machine
+        if coefficients is None:
+            coefficients = getattr(machine, "coefficients", None)
+        self.coefficients = coefficients or default_coefficients()
         self._active_j = 0.0
         self._by_process = {}
         #: ``(work_class, clock_factor) -> power``: the float ``**`` is
@@ -78,23 +137,43 @@ class EnergyModel:
         #: key components take only a handful of values, so each power
         #: level is computed once and reused bit-for-bit.
         self._power_cache = {}
+        #: ``(process, work_class, clock_factor) -> µs``, the exact
+        #: integer integral behind ``_active_j`` (see module docstring).
+        self._activity = {}
 
     def record_slice(self, process_name, work_class, wall_us, clock_factor):
         """Called per scheduling slice (same stream the memory model
         sees); ``clock_factor`` is the turbo multiplier at dispatch."""
         power = self._power_cache.get((work_class, clock_factor))
         if power is None:
-            power = (_ACTIVE_POWER_W[work_class]
-                     * clock_factor ** _CLOCK_EXPONENT)
+            power = (self.coefficients.active_power_w[work_class]
+                     * clock_factor ** self.coefficients.clock_exponent)
             self._power_cache[(work_class, clock_factor)] = power
         joules = power * wall_us / 1_000_000.0
         self._active_j += joules
         self._by_process[process_name] = (
             self._by_process.get(process_name, 0.0) + joules)
+        key = (process_name, work_class, clock_factor)
+        self._activity[key] = self._activity.get(key, 0) + wall_us
 
     def process_active_j(self, process_name):
         """Active CPU joules attributed to one process."""
         return self._by_process.get(process_name, 0.0)
+
+    def activity(self, processes=None):
+        """``{(work_class, clock_factor): µs}`` aggregated over
+        ``processes`` (all processes when ``None``).
+
+        Integer microseconds, deterministically ordered by key — the
+        lossless input of analytic energy re-scoring.
+        """
+        histogram = {}
+        for (name, work_class, factor), wall_us in self._activity.items():
+            if processes is not None and name not in processes:
+                continue
+            key = (work_class, factor)
+            histogram[key] = histogram.get(key, 0) + wall_us
+        return dict(sorted(histogram.items()))
 
     def report(self, window_us, gpu_device=None, processes=None):
         """Build an :class:`EnergyReport` for a window.
@@ -109,13 +188,14 @@ class EnergyModel:
             active = sum(self._by_process.get(name, 0.0)
                          for name in processes)
         seconds = window_us / 1_000_000.0
-        cpu_idle = _CPU_IDLE_W * seconds
+        cpu_idle = self.coefficients.cpu_idle_w * seconds
         gpu_active = 0.0
-        gpu_idle = _GPU_IDLE_W * seconds
+        gpu_idle = self.coefficients.gpu_idle_w * seconds
         if gpu_device is not None:
-            tdp = _GPU_TDP_W.get(gpu_device.spec.architecture, 220.0)
+            tdp = gpu_tdp_for(self.coefficients, gpu_device.spec)
             busy_fraction = min(1.0, gpu_device.busy_us() / max(1, window_us))
-            gpu_active = (tdp - _GPU_IDLE_W) * busy_fraction * seconds
+            gpu_active = (tdp - self.coefficients.gpu_idle_w) \
+                * busy_fraction * seconds
         return EnergyReport(
             cpu_active_j=active,
             cpu_idle_j=cpu_idle,

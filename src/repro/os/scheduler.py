@@ -59,6 +59,29 @@ class LogicalCpu:
         return f"<LCPU {self.index} core={self.core} way={self.way}>"
 
 
+def compute_clock_factor(cpu, busy_cores, n_cores, turbo=True):
+    """Turbo-boost speed multiplier for ``busy_cores`` active cores.
+
+    With few busy cores the chip sustains its turbo clock; fully
+    loaded it drops toward base — the standard Intel behaviour.
+
+    Module-level (not a scheduler method) because this is the *only*
+    computation through which absolute clock values reach the
+    simulation; the DSE axis partition
+    (:func:`repro.analysis.dse.axes.sim_signature`) evaluates the same
+    function to decide, bit-for-bit, whether two machine configs can
+    share a simulated trace.
+    """
+    if not turbo:
+        return 1.0
+    busy = max(1, busy_cores)
+    total = max(1, n_cores)
+    span = cpu.turbo_clock_ghz - cpu.base_clock_ghz
+    frac = (busy - 1) / max(1, total - 1)
+    clock = cpu.turbo_clock_ghz - span * frac
+    return clock / cpu.base_clock_ghz
+
+
 def build_topology(machine):
     """Enumerate the active logical CPUs for a machine configuration.
 
@@ -178,20 +201,9 @@ class Scheduler:
         return self._busy_cores
 
     def _compute_clock_factor(self, busy_cores):
-        """Turbo-boost speed multiplier for ``busy_cores`` active cores.
-
-        With few busy cores the chip sustains its turbo clock; fully
-        loaded it drops toward base — the standard Intel behaviour.
-        """
-        if not self.turbo:
-            return 1.0
-        cpu = self.machine.cpu
-        busy = max(1, busy_cores)
-        total = max(1, self._n_cores)
-        span = cpu.turbo_clock_ghz - cpu.base_clock_ghz
-        frac = (busy - 1) / max(1, total - 1)
-        clock = cpu.turbo_clock_ghz - span * frac
-        return clock / cpu.base_clock_ghz
+        """Turbo-boost speed multiplier for ``busy_cores`` active cores."""
+        return compute_clock_factor(self.machine.cpu, busy_cores,
+                                    self._n_cores, turbo=self.turbo)
 
     def _clock_factor(self):
         """Current turbo multiplier (precomputed per busy-core count)."""

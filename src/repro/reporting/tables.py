@@ -94,6 +94,55 @@ def render_failures(failures):
     return f"{table}\n\n{len(failures)} quarantined: {summary}"
 
 
+def render_dse_frontiers(result, top=None):
+    """Per-app Pareto frontiers of a DSE campaign (CampaignResult).
+
+    Shows the campaign's simulation economy (how much of the grid was
+    scored analytically), the equivalence-check verdict, then one
+    frontier table per app — best Eq.-1 TLP first, energy-delay
+    strictly improving down the list.  ``top`` truncates each table.
+    """
+    stats = result.stats
+    lines = [
+        f"DSE campaign: {stats.configs} configs x {stats.apps} apps = "
+        f"{stats.grid_points} grid points, {stats.signatures} "
+        f"trace-changing signatures",
+        f"  simulated {stats.simulated_points} points "
+        f"({stats.base_runs} base + {stats.equivalence_runs} "
+        f"equivalence), scored {stats.analytic_fraction:.1%} "
+        f"analytically, {stats.failed_runs} failed",
+    ]
+    if result.equivalence is not None:
+        eq = result.equivalence
+        lines.append(
+            f"  equivalence: {'ok' if eq.ok else 'FAILED'} "
+            f"({eq.samples} re-simulated samples, TLP "
+            f"{'exact' if eq.tlp_exact else 'MISMATCH'}, max rel err "
+            f"{eq.max_rel_err:.2e} vs rtol {eq.rtol:g})")
+    headers = ("cfg", "machine", "LCPU", "nm", "DVFS", "TLP",
+               "wall s", "energy J", "EDP J*s")
+    for app in result.apps:
+        frontier = result.frontiers.get(app, [])
+        shown = frontier if top is None else frontier[:top]
+        rows = [
+            (score.config_index, score.machine_name,
+             score.logical_cpus, score.tech_nm,
+             f"{score.dvfs_ratio:.3f}", f"{score.tlp:6.2f}",
+             f"{score.wall_s:.4f}", f"{score.energy_j:8.2f}",
+             f"{score.edp_js:.4g}")
+            for score in shown
+        ]
+        suffix = (f" (top {len(shown)} of {len(frontier)})"
+                  if len(shown) < len(frontier) else
+                  f" ({len(frontier)} points)")
+        lines.append("")
+        lines.append(format_table(
+            headers, rows,
+            title=f"{app}: Pareto frontier, TLP vs energy-delay"
+                  f"{suffix}"))
+    return "\n".join(lines)
+
+
 def render_lint_findings(report):
     """Findings table for one ``repro lint`` run (StaticReport)."""
     findings = report.findings

@@ -1,0 +1,75 @@
+"""Golden DSE slice: a pinned Pareto frontier regression check.
+
+A small deterministic campaign (fixed seed, fixed grid) must keep
+producing the exact committed frontiers — config indices and machine
+names bit-for-bit, floats at ``%.6e``.  Any drift in the generator,
+the partition, the scoring pipeline or the Pareto sweep shows up here
+first, with a diff a human can read.
+
+Regenerate after an *intended* change with::
+
+    PYTHONPATH=src python tests/test_dse_golden.py --update
+"""
+
+import json
+import os
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "golden_dse.json")
+
+#: The pinned campaign: small enough to run in seconds, wide enough to
+#: exercise every axis (trace-changing cores/SMT, tech/DVFS rescaling,
+#: coefficient jitter) and produce multi-point frontiers.
+CAMPAIGN = {
+    "apps": ["excel", "handbrake"],
+    "configs": 24,
+    "seed": 0,
+    "duration_us": 200_000,
+}
+
+
+def compute_slice():
+    from repro.analysis.dse import run_campaign
+    from repro.hardware.catalog import generate_machines
+
+    machines = generate_machines(CAMPAIGN["configs"],
+                                 seed=CAMPAIGN["seed"])
+    result = run_campaign(CAMPAIGN["apps"], machines,
+                          duration_us=CAMPAIGN["duration_us"],
+                          seed=CAMPAIGN["seed"],
+                          equivalence_samples=0)
+    assert result.stats.failed_runs == 0
+    return {
+        "campaign": dict(CAMPAIGN),
+        "signatures": result.stats.signatures,
+        "frontiers": {
+            app: [{
+                "config_index": s.config_index,
+                "machine": s.machine_name,
+                "logical_cpus": s.logical_cpus,
+                "tlp": "%.6e" % s.tlp,
+                "wall_s": "%.6e" % s.wall_s,
+                "energy_j": "%.6e" % s.energy_j,
+                "edp_js": "%.6e" % s.edp_js,
+            } for s in frontier]
+            for app, frontier in result.frontiers.items()
+        },
+    }
+
+
+def test_golden_dse_slice_is_stable():
+    with open(GOLDEN_PATH) as handle:
+        golden = json.load(handle)
+    assert compute_slice() == golden
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--update" not in sys.argv:
+        sys.exit("refusing to overwrite the golden slice without "
+                 "--update")
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(compute_slice(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"recorded golden DSE slice to {GOLDEN_PATH}")
