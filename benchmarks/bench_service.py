@@ -1,0 +1,152 @@
+"""Perf — sweep-service read path: requests/s, p50/p99, cold vs warm.
+
+Starts a real daemon on an ephemeral port, computes one small sweep,
+then load-tests ``GET /sweeps/{id}/result`` over a keep-alive
+connection two ways: *cold-cache* reads (full 200 bodies — the client
+holds nothing) and *warm-cache* reads (``If-None-Match`` revalidations
+answered 304 — the client holds the content-addressed payload).  A
+resubmission of the same sweep through a fresh service over the same
+result cache proves repeat traffic never re-simulates (zero executor
+calls).  Numbers land in ``BENCH_service.json``; the p99 gate is a
+generous ceiling that catches a pathological read path, not a tight
+SLO.
+
+``REPRO_BENCH_QUICK=1`` shrinks the request counts for smoke CI.
+"""
+
+import http.client
+import json
+import os
+import pathlib
+import tempfile
+import threading
+import time
+
+from repro.service import ServiceServer, SweepService
+from repro.service.http import HttpRequest
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+N_READS = 200 if QUICK else 1500
+#: Generous p99 ceiling (seconds) — the read path serves precomputed
+#: bytes, so anything near this is a regression, not noise.
+MAX_P99_S = 0.5
+
+SWEEP = {"apps": ["excel", "vlc"], "duration_s": 0.4, "iterations": 1}
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_service.json"
+
+
+def percentile(latencies, q):
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+
+def read_loop(port, path, n, headers=None, expect=200):
+    """``n`` sequential reads over one keep-alive connection."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    latencies = []
+    try:
+        for _ in range(n):
+            start = time.perf_counter()
+            conn.request("GET", path, headers=headers or {})
+            response = conn.getresponse()
+            response.read()
+            latencies.append(time.perf_counter() - start)
+            assert response.status == expect, response.status
+    finally:
+        conn.close()
+    return latencies
+
+
+def phase_stats(latencies):
+    wall = sum(latencies)
+    return {
+        "requests": len(latencies),
+        "requests_per_s": round(len(latencies) / wall, 1),
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def submit_and_wait(service):
+    """Submit ``SWEEP`` in-process and block until the job is done."""
+    request = HttpRequest(
+        method="POST", target="/sweeps", path="/sweeps", query={},
+        headers={}, body=json.dumps(SWEEP).encode("utf-8"))
+    response = service.dispatch(request)
+    assert response.status in (200, 202), response.status
+    job = service.store.find(json.loads(response.body)["id"])
+    assert job is not None and job.wait_done(300)
+    return job
+
+
+def run_measurement():
+    cache_dir = tempfile.mkdtemp(prefix="bench-service-cache-")
+
+    service = SweepService(cache=cache_dir)
+    server = ServiceServer(service, port=0)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.wait_ready(15)
+    try:
+        job = submit_and_wait(service)
+        path = f"/sweeps/{job.id}/result"
+        read_loop(server.port, path, 25)    # warm-up, discarded
+        cold = read_loop(server.port, path, N_READS)
+        warm = read_loop(server.port, path, N_READS,
+                         headers={"If-None-Match": job.etag()},
+                         expect=304)
+        body_bytes = len(job.result_bytes)
+    finally:
+        server.request_stop()
+        thread.join(timeout=30)
+        service.close()
+
+    # Repeat traffic never re-simulates: a fresh daemon over the same
+    # result cache resolves the same sweep with zero simulator calls.
+    resubmitted = SweepService(cache=cache_dir)
+    try:
+        job = submit_and_wait(resubmitted)
+        resubmit_executed = job.executor.executed
+    finally:
+        resubmitted.close()
+    return cold, warm, body_bytes, resubmit_executed
+
+
+def test_perf_service(experiment, report):
+    cold, warm, body_bytes, resubmit_executed = experiment(run_measurement)
+
+    assert resubmit_executed == 0
+
+    payload = {
+        "benchmark": "perf_service",
+        "sweep": SWEEP,
+        "result_bytes": body_bytes,
+        "cold_full_body": phase_stats(cold),
+        "warm_conditional_304": phase_stats(warm),
+        "resubmit_executed": resubmit_executed,
+        "quick": QUICK,
+    }
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+    c, w = payload["cold_full_body"], payload["warm_conditional_304"]
+    lines = [
+        "Perf — sweep-service read path (cold vs warm cache)",
+        "",
+        f"result body : {body_bytes} bytes "
+        f"({len(SWEEP['apps'])} apps, content-addressed)",
+        f"cold (200)  : {c['requests_per_s']:8.1f} req/s   "
+        f"p50 {c['p50_ms']:7.3f} ms   p99 {c['p99_ms']:7.3f} ms",
+        f"warm (304)  : {w['requests_per_s']:8.1f} req/s   "
+        f"p50 {w['p50_ms']:7.3f} ms   p99 {w['p99_ms']:7.3f} ms",
+        "resubmit    : 0 simulations (dedup via shared result cache)",
+    ]
+    report("perf_service", "\n".join(lines))
+
+    for phase in (c, w):
+        assert phase["p99_ms"] / 1e3 < MAX_P99_S, (
+            f"read-path p99 {phase['p99_ms']} ms exceeds the "
+            f"{MAX_P99_S * 1e3:.0f} ms ceiling")

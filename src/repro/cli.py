@@ -18,6 +18,15 @@ Commands
 ``compare BEFORE.json AFTER.json``
     Longitudinal comparison of two stored suite results (the 18-year
     -perspective workflow, continued).
+``serve``
+    Run the sweep service daemon: ``POST /sweeps`` submits app x
+    machine x config sweeps through the supervised executor (deduped
+    by sweep digest), ``GET /sweeps/{id}`` reports progress and
+    streams results, and ``GET /tables/...``/``GET /frontiers/...``
+    serve the committed golden artifacts with ``ETag`` revalidation.
+    Results are byte-identical to ``repro suite --json`` output for
+    the same specs.  ``POST /shutdown`` drains in-flight jobs and
+    exits.
 ``validate``
     Trace-invariant and golden-fingerprint regression check: replay the
     golden grid (4/8/12 logical CPUs with SMT, 4/6 without), validate
@@ -472,6 +481,39 @@ def cmd_dse(args, out):
     return 1 if bad else 0
 
 
+def cmd_serve(args, out):
+    if _check_exec_args(args, out):
+        return 2
+    if args.chunk < 1:
+        out("error: --chunk must be >= 1")
+        return 2
+    from repro.service import ENDPOINTS, ServiceServer, SweepService
+
+    deadline_us = args.deadline_us
+    service = SweepService(
+        jobs=args.jobs if args.jobs is not None else 0,
+        cache=args.cache,
+        retries=args.retries or 0,
+        deadline_s=deadline_us / 1e6 if deadline_us else None,
+        chunk=args.chunk,
+        golden_path=args.golden,
+        dse_path=args.dse)
+
+    def ready(server):
+        out(f"serving on http://{server.host}:{server.port}")
+        width = max(len(endpoint) for endpoint in ENDPOINTS)
+        for endpoint, description in ENDPOINTS.items():
+            out(f"  {endpoint:<{width}}  {description}")
+        # Piped stdout is block-buffered: supervisors reading the
+        # banner for the port would otherwise wait forever.
+        sys.stdout.flush()
+
+    ServiceServer(service, host=args.host, port=args.port,
+                  on_ready=ready).run()
+    out("service stopped")
+    return 0
+
+
 def cmd_compare(args, out):
     from repro.analysis import compare_suites, render_comparison
     from repro.harness.persistence import load_suite
@@ -705,6 +747,44 @@ def build_parser():
         help="include every grid point's score in the JSON "
              "(not just the frontiers)")
     add_hotpath_args(dse_parser)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the sweep service daemon (HTTP API over the "
+             "supervised executor and the committed golden artifacts)")
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (default: 8765; 0 picks an ephemeral port)")
+    serve_parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="simulation processes per sweep (default: 0 = auto, "
+             "re-resolved at every submission)")
+    serve_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="content-addressed result cache shared by all sweeps "
+             "(created on first use); repeat submissions of computed "
+             "grids never re-simulate")
+    serve_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry a failed run up to N times before quarantining it")
+    serve_parser.add_argument(
+        "--deadline-us", type=int, default=None, metavar="US",
+        help="wall-clock budget per run attempt, in microseconds")
+    serve_parser.add_argument(
+        "--chunk", type=int, default=1, metavar="K",
+        help="specs per supervisor pipe round-trip")
+    serve_parser.add_argument(
+        "--golden", default=None, metavar="PATH",
+        help="golden fingerprint file served under /tables/goldens "
+             "(default: tests/golden/golden_traces.json)")
+    serve_parser.add_argument(
+        "--dse", default=None, metavar="PATH",
+        help="DSE frontier file served under /frontiers "
+             "(default: tests/golden/golden_dse.json)")
+    add_hotpath_args(serve_parser)
     return parser
 
 
@@ -717,6 +797,7 @@ _COMMANDS = {
     "validate": cmd_validate,
     "lint": cmd_lint,
     "dse": cmd_dse,
+    "serve": cmd_serve,
 }
 
 

@@ -63,26 +63,28 @@ class StoredAppResult:
 
 
 def save_suite(suite_result, path, metadata=None):
-    """Write a :class:`~repro.harness.suite.SuiteResult` to JSON."""
-    payload = {
-        "format": "repro-suite-v1",
-        "metadata": metadata or {},
-        "results": {name: app_result_to_dict(result)
-                    for name, result in suite_result.results.items()},
-        "failures": [failure.to_payload() for failure in
-                     getattr(suite_result, "failures", ())],
-    }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+    """Write a :class:`~repro.harness.suite.SuiteResult` to JSON.
+
+    The document is rendered by the same payload builder and canonical
+    encoder the sweep service uses, so a saved file is byte-identical
+    to the service's ``GET /sweeps/{id}/result`` body for the same
+    specs and metadata.
+    """
+    from repro.reporting.payloads import canonical_json_bytes, suite_payload
+
+    with open(path, "wb") as fh:
+        fh.write(canonical_json_bytes(suite_payload(suite_result,
+                                                    metadata=metadata)))
 
 
 def load_suite(path):
     """Load a stored suite; returns a SuiteResult over StoredAppResult."""
     from repro.harness.suite import SuiteResult
+    from repro.reporting.payloads import SUITE_FORMAT
 
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
-    if payload.get("format") != "repro-suite-v1":
+    if payload.get("format") != SUITE_FORMAT:
         raise ValueError(f"{path} is not a repro suite result file")
     from repro.harness.supervisor import RunFailure
 

@@ -71,11 +71,16 @@ class SuiteResult:
                 if r.max_instantaneous >= n_logical]
 
 
-def run_suite(names=SUITE, machine=None, duration_us=DEFAULT_DURATION_US,
-              iterations=DEFAULT_ITERATIONS, jobs=None, executor=None,
-              cache=None, **kwargs):
-    """Run the Table II protocol over ``names`` and aggregate."""
-    executor = resolve_executor(jobs=jobs, executor=executor, cache=cache)
+def suite_spans(names, machine=None, duration_us=DEFAULT_DURATION_US,
+                iterations=DEFAULT_ITERATIONS, **kwargs):
+    """The flat spec grid of one suite, plus its per-app spans.
+
+    Returns ``(spans, specs)`` where ``spans`` is ``[(app, lo, hi),
+    ...]`` naming the slice of ``specs`` that measures each app.  The
+    sweep service submits through this too, so a service sweep and a
+    CLI suite of the same request are the *same* grid points — equal
+    cache keys, equal digests, equal results.
+    """
     specs, spans = [], []
     for name in names:
         app = create_app(name)
@@ -84,15 +89,36 @@ def run_suite(names=SUITE, machine=None, duration_us=DEFAULT_DURATION_US,
                                     iterations=iterations, **kwargs)
         spans.append((app, len(specs), len(specs) + len(app_specs)))
         specs.extend(app_specs)
-    runs = executor.map(specs)
+    return spans, specs
+
+
+def aggregate_results(spans, runs):
+    """Fold executor output back into ``{app name: AppResult}`` rows.
+
+    An app whose every iteration was quarantined has no row
+    (``summarize_runs`` raises for it) — shared by :func:`run_suite`
+    and the sweep service so both aggregate identically.
+    """
     results = {}
     for app, lo, hi in spans:
         try:
             results[app.name] = summarize_runs(app, runs[lo:hi])
         except RuntimeError:
-            # Every iteration quarantined; the failure records below
-            # are the only honest row for this app.
+            # Every iteration quarantined; the caller's failure
+            # records are the only honest row for this app.
             continue
+    return results
+
+
+def run_suite(names=SUITE, machine=None, duration_us=DEFAULT_DURATION_US,
+              iterations=DEFAULT_ITERATIONS, jobs=None, executor=None,
+              cache=None, **kwargs):
+    """Run the Table II protocol over ``names`` and aggregate."""
+    executor = resolve_executor(jobs=jobs, executor=executor, cache=cache)
+    spans, specs = suite_spans(names, machine=machine,
+                               duration_us=duration_us,
+                               iterations=iterations, **kwargs)
+    runs = executor.map(specs)
     return SuiteResult(
-        results=results,
+        results=aggregate_results(spans, runs),
         failures=list(getattr(executor, "failures", ())))

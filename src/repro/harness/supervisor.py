@@ -464,6 +464,19 @@ class SupervisedExecutor:
         if local:
             self._run_serial(specs, keys, local, results, journal)
 
+    def planned_backend(self, n_pending):
+        """Human-readable backend a sweep of ``n_pending`` runs gets.
+
+        ``"serial"`` or ``"pool-N"``.  Evaluated at call time — the
+        auto-mode CPU clamp inside :meth:`_pool_size` consults the
+        *current* usable-CPU count, so a long-running daemon that asks
+        per sweep submission tracks affinity changes instead of
+        freezing the startup-time answer (the PR-7 clamp would
+        otherwise be decided exactly once).
+        """
+        size = self._pool_size(n_pending)
+        return "serial" if size == 0 else f"pool-{size}"
+
     def _pool_size(self, n_pending):
         """Worker count, or 0 for in-process serial execution."""
         jobs = self.jobs

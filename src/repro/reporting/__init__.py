@@ -22,6 +22,11 @@ from repro.reporting.render import (
     heat_row,
     sparkline,
 )
+from repro.reporting.payloads import (
+    SUITE_FORMAT,
+    canonical_json_bytes,
+    suite_payload,
+)
 from repro.reporting.tables import (
     render_dse_frontiers,
     render_failures,
@@ -33,8 +38,11 @@ from repro.reporting.tables import (
 )
 
 __all__ = [
+    "SUITE_FORMAT",
     "bar",
     "bar_chart",
+    "canonical_json_bytes",
+    "suite_payload",
     "fig2_series",
     "fig3_series",
     "format_table",

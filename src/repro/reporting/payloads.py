@@ -1,0 +1,43 @@
+"""Canonical JSON payload builders shared by persistence and the service.
+
+The sweep service's read path promises results *byte-identical* to the
+CLI's ``--json`` files: a client that fetched ``GET /sweeps/{id}/result``
+must be able to diff it against ``repro suite --json out.json`` and see
+nothing.  Rather than asserting that identity test-by-test, both sides
+render through the same payload builders and the same canonical encoder
+here, so the identity holds by construction — a formatting change
+cannot drift one consumer without dragging the other along.
+"""
+
+import json
+
+#: Format tag of a persisted/served suite result document.
+SUITE_FORMAT = "repro-suite-v1"
+
+
+def canonical_json_bytes(payload):
+    """The one true byte encoding of a JSON payload.
+
+    ``indent=2, sort_keys=True`` matches what ``save_suite`` has always
+    written, so files persisted by earlier versions diff clean against
+    service responses for the same data.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+
+
+def suite_payload(suite_result, metadata=None):
+    """The ``repro-suite-v1`` document of a suite result.
+
+    Shared by :func:`repro.harness.persistence.save_suite` (writes it
+    to disk) and the sweep service (serves it over HTTP).
+    """
+    from repro.harness.persistence import app_result_to_dict
+
+    return {
+        "format": SUITE_FORMAT,
+        "metadata": metadata or {},
+        "results": {name: app_result_to_dict(result)
+                    for name, result in suite_result.results.items()},
+        "failures": [failure.to_payload() for failure in
+                     getattr(suite_result, "failures", ())],
+    }

@@ -1,0 +1,30 @@
+"""Sweep service: the daemon face of the measurement harness.
+
+``repro serve`` exposes the suite/golden/DSE machinery over HTTP —
+submissions dedup on the sweep digest, results are content-addressed
+(``ETag`` = digest) and byte-identical to ``repro suite --json``
+output, and progress streams as NDJSON while the supervised executor
+works through the grid.  See ``docs/architecture.md`` ("Sweep
+service") for the full design.
+"""
+
+from repro.service.daemon import ENDPOINTS, SweepService
+from repro.service.http import BadRequest, HttpRequest, HttpResponse
+from repro.service.jobs import JobRunner, JobStore, SweepJob, SweepRequest
+from repro.service.server import ServiceServer, serve
+from repro.service.tables import TableStore
+
+__all__ = [
+    "BadRequest",
+    "ENDPOINTS",
+    "HttpRequest",
+    "HttpResponse",
+    "JobRunner",
+    "JobStore",
+    "ServiceServer",
+    "serve",
+    "SweepJob",
+    "SweepRequest",
+    "SweepService",
+    "TableStore",
+]

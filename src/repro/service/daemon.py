@@ -1,0 +1,317 @@
+"""The sweep service: routing, dedup, lifecycle.
+
+:class:`SweepService` is the whole daemon minus the sockets — a
+synchronous ``dispatch(HttpRequest) -> HttpResponse`` the asyncio
+server calls from worker threads, and that tests can call directly
+without binding a port.
+
+Endpoints::
+
+    GET  /                      service index
+    GET  /healthz               liveness + job counts
+    POST /sweeps                submit a sweep (dedup by digest)
+    GET  /sweeps                list jobs
+    GET  /sweeps/{id}           job status + progress
+    GET  /sweeps/{id}/result    final suite payload (ETag, immutable)
+    GET  /sweeps/{id}/stream    NDJSON progress events (chunked)
+    GET  /tables/goldens[/app]  committed golden fingerprints
+    GET  /frontiers[/app]       committed DSE Pareto frontiers
+    POST /goldens               re-record goldens (409 when busy)
+    POST /shutdown              drain in-flight jobs, then stop
+
+Cache discipline: a sweep result's identity *is* its digest (the grid
+is seed-determined), so ``/sweeps/{id}/result`` is immutable and
+served with a far-future ``Cache-Control``; the golden tables can be
+mutated, so they revalidate via ``ETag`` each time.
+"""
+
+import json
+import re
+import threading
+
+from repro.harness.cache import ResultCache, spec_key
+from repro.harness.supervisor import SupervisedExecutor, sweep_digest
+from repro.service.http import (
+    BadRequest,
+    HttpResponse,
+    error_response,
+    json_response,
+)
+from repro.service.jobs import JobRunner, JobStore, SweepJob, SweepRequest
+from repro.service.tables import TableStore
+
+#: Immutable content-addressed results: cache forever.
+IMMUTABLE = "public, max-age=31536000, immutable"
+#: Mutable tables: reuse only after an ETag revalidation.
+REVALIDATE = "public, no-cache"
+
+_SWEEP = re.compile(r"^/sweeps/([0-9a-f]{8,64})$")
+_SWEEP_RESULT = re.compile(r"^/sweeps/([0-9a-f]{8,64})/result$")
+_SWEEP_STREAM = re.compile(r"^/sweeps/([0-9a-f]{8,64})/stream$")
+_TABLES = re.compile(r"^/tables/goldens(?:/([A-Za-z0-9_-]+))?$")
+_FRONTIERS = re.compile(r"^/frontiers(?:/([A-Za-z0-9_-]+))?$")
+
+ENDPOINTS = {
+    "POST /sweeps": "submit a sweep (apps x machine x config)",
+    "GET /sweeps": "list submitted sweeps",
+    "GET /sweeps/{id}": "job status and progress",
+    "GET /sweeps/{id}/result": "final suite payload (ETag, immutable)",
+    "GET /sweeps/{id}/stream": "NDJSON progress events",
+    "GET /tables/goldens[/{app}]": "committed golden fingerprints",
+    "GET /frontiers[/{app}]": "committed DSE Pareto frontiers",
+    "POST /goldens": "re-record golden fingerprints",
+    "POST /shutdown": "drain in-flight jobs, then stop",
+}
+
+
+class SweepService:
+    """Routing + job lifecycle over the shared harness machinery.
+
+    Executor configuration (``jobs``/``cache``/``retries``/
+    ``deadline_s``/``chunk``) is stored, not resolved: every submission
+    builds a *fresh* :class:`SupervisedExecutor` and asks it for its
+    backend then, so the auto-mode CPU clamp tracks the machine the
+    daemon runs on now — not the one it started on.
+    """
+
+    def __init__(self, jobs=0, cache=None, retries=0, deadline_s=None,
+                 chunk=1, golden_path=None, dse_path=None):
+        self.jobs = jobs
+        self.cache_dir = str(cache) if cache is not None else None
+        self.retries = retries
+        self.deadline_s = deadline_s
+        self.chunk = chunk
+        self.store = JobStore()
+        self.runner = JobRunner()
+        self.tables = TableStore(golden_path=golden_path,
+                                 dse_path=dse_path)
+        self.state = "running"
+        self.on_stopped = None
+        self._lock = threading.Lock()
+
+    def _make_executor(self):
+        cache = (ResultCache(self.cache_dir)
+                 if self.cache_dir is not None else None)
+        return SupervisedExecutor(jobs=self.jobs, cache=cache,
+                                  retries=self.retries,
+                                  deadline_s=self.deadline_s,
+                                  chunk=self.chunk)
+
+    def close(self):
+        self.runner.close()
+
+    # -- dispatch ------------------------------------------------------
+
+    def dispatch(self, request):
+        """Route one request; never raises."""
+        try:
+            return self._route(request)
+        except BadRequest as exc:
+            return error_response(400, str(exc))
+        except Exception as exc:        # pragma: no cover - backstop
+            return error_response(500, f"{type(exc).__name__}: {exc}")
+
+    def _route(self, request):
+        path, method = request.path, request.method
+        if path == "/":
+            return self._get_only(method) or self._index()
+        if path == "/healthz":
+            return self._get_only(method) or self._health()
+        if path == "/sweeps":
+            if method == "POST":
+                return self._submit(request)
+            return self._get_only(method) or self._list_jobs()
+        match = _SWEEP_RESULT.match(path)
+        if match:
+            return self._get_only(method) \
+                or self._job(match.group(1), self._result, request)
+        match = _SWEEP_STREAM.match(path)
+        if match:
+            return self._get_only(method) \
+                or self._job(match.group(1), self._stream_response)
+        match = _SWEEP.match(path)
+        if match:
+            return self._get_only(method) \
+                or self._job(match.group(1), self._status)
+        match = _TABLES.match(path)
+        if match:
+            return self._get_only(method) or self._table(
+                request, self.tables.goldens_body, match.group(1))
+        match = _FRONTIERS.match(path)
+        if match:
+            return self._get_only(method) or self._table(
+                request, self.tables.frontiers_body, match.group(1))
+        if path == "/goldens":
+            if method != "POST":
+                return error_response(405, "use POST /goldens")
+            return self._update_goldens(request)
+        if path == "/shutdown":
+            if method != "POST":
+                return error_response(405, "use POST /shutdown")
+            return self._shutdown()
+        return error_response(404, f"no such endpoint: {path}")
+
+    @staticmethod
+    def _get_only(method):
+        if method not in ("GET", "HEAD"):
+            return error_response(405, "read-only endpoint; use GET")
+        return None
+
+    # -- handlers ------------------------------------------------------
+
+    def _index(self):
+        return json_response({
+            "service": "repro-sweeps",
+            "state": self.state,
+            "endpoints": ENDPOINTS,
+        })
+
+    def _health(self):
+        jobs = self.store.all()
+        return json_response({
+            "state": self.state,
+            "jobs": {
+                state: sum(1 for j in jobs if j.state == state)
+                for state in ("queued", "running", "done", "failed")
+            },
+        })
+
+    def _submit(self, request):
+        if self.state != "running":
+            return error_response(
+                503, "service is draining; not accepting new sweeps",
+                state=self.state)
+        sweep = SweepRequest.from_payload(request.json())
+        spans, specs = sweep.build()
+        digest = sweep_digest([spec_key(spec) for spec in specs])
+        with self._lock:
+            job = self.store.dedup(digest)
+            if job is not None:
+                return json_response(
+                    self._submission_payload(job, deduplicated=True))
+            executor = self._make_executor()
+            job = SweepJob(sweep, digest, spans, specs, executor,
+                           backend=executor.planned_backend(len(specs)))
+            self.store.add(job)
+            self.runner.submit(job)
+        return json_response(
+            self._submission_payload(job, deduplicated=False), status=202)
+
+    @staticmethod
+    def _submission_payload(job, deduplicated):
+        return {
+            "id": job.id,
+            "state": job.state,
+            "backend": job.backend,
+            "total_runs": len(job.specs),
+            "deduplicated": deduplicated,
+            "links": {
+                "status": f"/sweeps/{job.id}",
+                "result": f"/sweeps/{job.id}/result",
+                "stream": f"/sweeps/{job.id}/stream",
+            },
+        }
+
+    def _list_jobs(self):
+        return json_response({
+            "jobs": [job.status_payload() for job in self.store.all()],
+        })
+
+    def _job(self, job_id, handler, *args):
+        job = self.store.find(job_id)
+        if job is None:
+            return error_response(404, f"no such sweep: {job_id}")
+        return handler(job, *args)
+
+    @staticmethod
+    def _status(job):
+        return json_response(job.status_payload())
+
+    @staticmethod
+    def _result(job, request):
+        if job.state == "failed":
+            return error_response(500, job.error or "sweep failed")
+        if job.state != "done":
+            return json_response(job.status_payload(), status=202)
+        headers = {
+            "ETag": job.etag(),
+            "Cache-Control": IMMUTABLE,
+            "Content-Type": "application/json; charset=utf-8",
+        }
+        if request.if_none_match() == job.etag():
+            return HttpResponse(status=304, headers=headers)
+        return HttpResponse(status=200, body=job.result_bytes,
+                            headers=headers)
+
+    def _stream_response(self, job):
+        return HttpResponse(
+            status=200, stream=self._stream(job),
+            headers={"Content-Type": "application/x-ndjson"})
+
+    @staticmethod
+    def _stream(job):
+        seen = 0
+        while True:
+            events, exhausted = job.wait_events(seen, timeout=1.0)
+            for event in events:
+                # One compact NDJSON line per event (the canonical
+                # encoder is indented; streams want line-framing).
+                yield (json.dumps(event, sort_keys=True,
+                                  separators=(",", ":")) + "\n"
+                       ).encode("utf-8")
+            seen += len(events)
+            if exhausted:
+                return
+
+    def _table(self, request, body_fn, app):
+        entry = body_fn(app)
+        if entry is None:
+            what = f"app {app!r}" if app else "table file"
+            return error_response(404, f"no data for {what}")
+        etag, body = entry
+        headers = {
+            "ETag": etag,
+            "Cache-Control": REVALIDATE,
+            "Content-Type": "application/json; charset=utf-8",
+        }
+        if request.if_none_match() == etag:
+            return HttpResponse(status=304, headers=headers)
+        return HttpResponse(status=200, body=body, headers=headers)
+
+    def _update_goldens(self, request):
+        payload = request.json()
+        apps = payload.get("apps")
+        if not isinstance(apps, list) or not apps:
+            raise BadRequest("'apps' must be a non-empty list of "
+                             "registry keys")
+        from repro.apps import REGISTRY
+
+        bad = [a for a in apps if a not in REGISTRY]
+        if bad:
+            raise BadRequest(f"unknown applications: "
+                             f"{', '.join(map(str, bad))}")
+        if not self.tables.mutation_lock.acquire(blocking=False):
+            return error_response(
+                409, "a goldens update is already in progress; "
+                     "retry when it completes")
+        try:
+            summary = self.tables.update_goldens(apps)
+        finally:
+            self.tables.mutation_lock.release()
+        return json_response(summary)
+
+    def _shutdown(self):
+        with self._lock:
+            if self.state == "running":
+                self.state = "draining"
+                threading.Thread(target=self._drain_and_stop,
+                                 daemon=True,
+                                 name="sweep-drain").start()
+        return json_response({"state": self.state}, status=202)
+
+    def _drain_and_stop(self):
+        self.runner.drain()
+        self.state = "stopped"
+        callback = self.on_stopped
+        if callback is not None:
+            callback()

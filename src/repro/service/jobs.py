@@ -1,0 +1,417 @@
+"""Sweep jobs: validated requests, content-addressed dedup, the runner.
+
+A sweep submission is normalized into the *same* spec grid the CLI
+``repro suite`` builds (:func:`repro.harness.suite.suite_spans`), so
+its identity — :func:`repro.harness.supervisor.sweep_digest` over the
+ordered cache keys — is shared with the journal/cache machinery.  Two
+requests asking for the same physics get the same digest, the same
+job, and (results being seed-determined) byte-identical payloads;
+that digest doubles as the job id and the result's ``ETag``.
+"""
+
+import threading
+from collections import deque
+from dataclasses import replace
+
+from repro.harness.suite import SuiteResult, aggregate_results, suite_spans
+from repro.harness.supervisor import RunFailure
+from repro.reporting.payloads import canonical_json_bytes, suite_payload
+from repro.service.http import BadRequest
+from repro.sim import SECOND
+
+_REQUEST_KEYS = frozenset({
+    "apps", "duration_s", "iterations", "machine",
+    "streaming", "validate", "salvage", "fault", "fault_seed",
+})
+_MACHINE_KEYS = frozenset({"cores", "smt", "gpu"})
+
+
+class SweepRequest:
+    """One validated ``POST /sweeps`` body.
+
+    Field names and defaults mirror the ``repro suite`` CLI surface
+    (``duration_s`` = ``--duration``, machine resolution order gpu ->
+    SMT -> cores), so a request and the equivalent CLI invocation
+    build identical spec grids.
+    """
+
+    def __init__(self, apps, duration_s=60.0, iterations=3, cores=None,
+                 smt=True, gpu=None, streaming=False, validate=False,
+                 salvage=False, fault=None, fault_seed=0):
+        self.apps = tuple(apps)
+        self.duration_s = duration_s
+        self.iterations = iterations
+        self.cores = cores
+        self.smt = smt
+        self.gpu = gpu
+        self.streaming = streaming
+        self.validate = validate
+        self.salvage = salvage
+        self.fault = fault
+        self.fault_seed = fault_seed
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Validate a request body; raises :class:`BadRequest`."""
+        from repro.apps import REGISTRY
+        from repro.hardware import GPUS
+
+        unknown = set(payload) - _REQUEST_KEYS
+        if unknown:
+            raise BadRequest(f"unknown request fields: {sorted(unknown)}")
+        apps = payload.get("apps")
+        if not isinstance(apps, list) or not apps:
+            raise BadRequest("'apps' must be a non-empty list of "
+                             "registry keys")
+        bad = [a for a in apps if a not in REGISTRY]
+        if bad:
+            raise BadRequest(f"unknown applications: {', '.join(map(str, bad))}")
+        duration_s = payload.get("duration_s", 60.0)
+        if not isinstance(duration_s, (int, float)) or duration_s <= 0:
+            raise BadRequest("'duration_s' must be a positive number")
+        iterations = payload.get("iterations", 3)
+        if not isinstance(iterations, int) or iterations < 1:
+            raise BadRequest("'iterations' must be an integer >= 1")
+        machine = payload.get("machine", {})
+        if not isinstance(machine, dict):
+            raise BadRequest("'machine' must be an object")
+        bad = set(machine) - _MACHINE_KEYS
+        if bad:
+            raise BadRequest(f"unknown machine fields: {sorted(bad)}")
+        cores = machine.get("cores")
+        if cores is not None and (not isinstance(cores, int) or cores < 1):
+            raise BadRequest("'machine.cores' must be an integer >= 1")
+        gpu = machine.get("gpu")
+        if gpu is not None and gpu not in GPUS:
+            raise BadRequest(f"unknown GPU {gpu!r}; "
+                             f"known: {', '.join(sorted(GPUS))}")
+        flags = {}
+        for name in ("streaming", "validate", "salvage"):
+            value = payload.get(name, False)
+            if not isinstance(value, bool):
+                raise BadRequest(f"'{name}' must be a boolean")
+            flags[name] = value
+        if flags["salvage"] and flags["streaming"]:
+            raise BadRequest("'salvage' recovers a prefix of the recorded "
+                             "trace; incompatible with 'streaming'")
+        fault = payload.get("fault")
+        if fault is not None:
+            from repro.validate.faults import FAULTS, is_exec_fault
+
+            if not isinstance(fault, str) or not (
+                    fault in FAULTS or is_exec_fault(fault)):
+                raise BadRequest(f"unknown fault: {fault!r}")
+        fault_seed = payload.get("fault_seed", 0)
+        if not isinstance(fault_seed, int):
+            raise BadRequest("'fault_seed' must be an integer")
+        return cls(apps=apps, duration_s=duration_s, iterations=iterations,
+                   cores=cores, smt=machine.get("smt", True), gpu=gpu,
+                   fault=fault, fault_seed=fault_seed, **flags)
+
+    def machine(self):
+        """The machine spec, derived like the CLI's ``--cores``/
+        ``--no-smt``/``--gpu`` (same order, same defaults)."""
+        from repro.hardware import GPUS, paper_machine
+
+        machine = paper_machine()
+        if self.gpu:
+            machine = machine.with_gpu(GPUS[self.gpu])
+        if not self.smt:
+            machine = machine.with_smt(False)
+        if self.cores:
+            machine = machine.with_logical_cpus(self.cores)
+        return machine
+
+    def build(self):
+        """``(spans, specs)`` — the exact grid ``repro suite`` runs."""
+        return suite_spans(
+            self.apps, machine=self.machine(),
+            duration_us=int(self.duration_s * SECOND),
+            iterations=self.iterations, streaming=self.streaming,
+            validate=self.validate, salvage=self.salvage,
+            fault=self.fault, fault_seed=self.fault_seed)
+
+    def metadata(self):
+        """Result metadata — identical to what ``repro suite --json``
+        stores, so the payloads stay byte-identical."""
+        return {"duration_s": self.duration_s,
+                "iterations": self.iterations}
+
+    def to_payload(self):
+        return {
+            "apps": list(self.apps),
+            "duration_s": self.duration_s,
+            "iterations": self.iterations,
+            "machine": {"cores": self.cores, "smt": self.smt,
+                        "gpu": self.gpu},
+            "streaming": self.streaming,
+            "validate": self.validate,
+            "salvage": self.salvage,
+            "fault": self.fault,
+            "fault_seed": self.fault_seed,
+        }
+
+
+class SweepJob:
+    """One submitted sweep: state machine, progress events, result.
+
+    States: ``queued -> running -> done | failed`` (``failed`` means
+    the *service* hit an internal error; quarantined runs still finish
+    ``done`` with their :class:`RunFailure` records listed).  Progress
+    is an append-only event list guarded by one condition variable;
+    readers wait on it with bounded timeouts, so a missed notify can
+    delay a stream chunk but never deadlock a connection.
+    """
+
+    def __init__(self, request, digest, spans, specs, executor,
+                 backend):
+        self.request = request
+        self.digest = digest
+        self.id = digest
+        self.spans = spans
+        self.specs = specs
+        self.executor = executor
+        self.backend = backend
+        self.state = "queued"
+        self.executed = 0
+        self.failures = []
+        self.result_bytes = None
+        self.error = None
+        self._events = []
+        self._cond = threading.Condition()
+
+    def etag(self):
+        return f'"{self.digest}"'
+
+    # -- writer side (the runner thread) -------------------------------
+
+    def mark_running(self):
+        with self._cond:
+            self.state = "running"
+            self._cond.notify_all()
+
+    def add_event(self, event):
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def finish(self, suite_result):
+        """Seal a completed sweep: payload bytes, counters, done event."""
+        payload = suite_payload(suite_result,
+                                metadata=self.request.metadata())
+        body = canonical_json_bytes(payload)
+        with self._cond:
+            self.result_bytes = body
+            self.failures = list(suite_result.failures)
+            self.executed = self.executor.executed
+            self._events.append({
+                "event": "done",
+                "id": self.id,
+                "etag": self.etag(),
+                "executed": self.executed,
+                "failures": [f.to_payload() for f in self.failures],
+            })
+            self.state = "done"
+            self._cond.notify_all()
+
+    def fail(self, exc):
+        with self._cond:
+            self.error = f"{type(exc).__name__}: {exc}"
+            self._events.append({"event": "failed", "id": self.id,
+                                 "error": self.error})
+            self.state = "failed"
+            self._cond.notify_all()
+
+    # -- reader side ---------------------------------------------------
+
+    def wait_events(self, seen, timeout=1.0):
+        """``(events after seen, exhausted)``; blocks at most ``timeout``.
+
+        ``exhausted`` is True once the job is terminal *and* the caller
+        has now seen every event — the stream's termination condition.
+        """
+        with self._cond:
+            if len(self._events) <= seen and self.state not in ("done",
+                                                                "failed"):
+                self._cond.wait(timeout)
+            new = list(self._events[seen:])
+            exhausted = (self.state in ("done", "failed")
+                         and seen + len(new) == len(self._events))
+            return new, exhausted
+
+    def wait_done(self, timeout=60.0):
+        """Block until terminal (tests and the drain path); True if so."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self.state not in ("done", "failed"):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, 1.0))
+            return True
+
+    def status_payload(self):
+        with self._cond:
+            done_apps = sum(1 for e in self._events
+                            if e.get("event") == "app")
+            completed = max((e["completed"] for e in self._events
+                             if e.get("event") == "app"), default=0)
+            payload = {
+                "id": self.id,
+                "state": self.state,
+                "backend": self.backend,
+                "request": self.request.to_payload(),
+                "progress": {
+                    "total_runs": len(self.specs),
+                    "completed_runs": completed,
+                    "total_apps": len(self.spans),
+                    "completed_apps": done_apps,
+                },
+                "failures": [f.to_payload() for f in self.failures],
+            }
+            if self.state == "done":
+                payload["etag"] = self.etag()
+                payload["executed"] = self.executed
+            if self.error is not None:
+                payload["error"] = self.error
+            return payload
+
+
+class JobStore:
+    """Jobs by digest, with in-flight dedup.
+
+    ``find`` accepts the full digest or any unambiguous prefix of at
+    least 8 hex characters (the submission response hands out both).
+    """
+
+    def __init__(self):
+        self._jobs = {}
+        self._lock = threading.Lock()
+
+    def dedup(self, digest):
+        """The live job already covering ``digest``, if any.
+
+        A ``failed`` job does not dedup — resubmission is the retry.
+        """
+        with self._lock:
+            job = self._jobs.get(digest)
+            if job is not None and job.state == "failed":
+                return None
+            return job
+
+    def add(self, job):
+        with self._lock:
+            self._jobs[job.digest] = job
+
+    def find(self, job_id):
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job
+            if len(job_id) >= 8:
+                matches = [j for d, j in self._jobs.items()
+                           if d.startswith(job_id)]
+                if len(matches) == 1:
+                    return matches[0]
+            return None
+
+    def all(self):
+        with self._lock:
+            return list(self._jobs.values())
+
+
+class JobRunner:
+    """One dispatcher thread draining a FIFO of sweep jobs.
+
+    One job runs at a time — parallelism lives *inside* a job (its
+    executor fans the grid out), so two concurrent sweeps never fight
+    over the same worker pool.  ``map`` is called once per app span,
+    which is what turns a monolithic sweep into streamable progress:
+    each span's completion appends an ``app`` event before the next
+    span starts.
+    """
+
+    def __init__(self):
+        self._queue = deque()
+        self._cond = threading.Condition()
+        self._active = None
+        self._closed = False
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="sweep-runner")
+        self._thread.start()
+
+    def submit(self, job):
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("runner is closed")
+            self._queue.append(job)
+            self._cond.notify_all()
+
+    def drain(self, timeout=None):
+        """Block until every queued/running job is resolved."""
+        import time
+
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with self._cond:
+            while self._queue or self._active is not None:
+                remaining = 1.0
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(min(remaining, 1.0))
+            return True
+
+    def close(self):
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=10)
+
+    def _loop(self):
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait(1.0)
+                if self._closed and not self._queue:
+                    return
+                job = self._queue.popleft()
+                self._active = job
+            try:
+                self._run(job)
+            except Exception as exc:       # pragma: no cover - backstop
+                job.fail(exc)
+            finally:
+                with self._cond:
+                    self._active = None
+                    self._cond.notify_all()
+
+    def _run(self, job):
+        job.mark_running()
+        try:
+            runs = [None] * len(job.specs)
+            failures = []
+            for app, lo, hi in job.spans:
+                span_runs = job.executor.map(job.specs[lo:hi])
+                runs[lo:hi] = span_runs
+                # Span-local failure indices rebase onto the grid so
+                # the API reports the same indices a one-shot
+                # ``run_suite`` of the full grid would.
+                failures.extend(
+                    replace(f, index=lo + f.index) for f in span_runs
+                    if isinstance(f, RunFailure))
+                job.add_event({
+                    "event": "app",
+                    "app": app.name,
+                    "completed": hi,
+                    "total": len(job.specs),
+                    "failures": len(failures),
+                })
+        except Exception as exc:
+            job.fail(exc)
+            return
+        job.finish(SuiteResult(results=aggregate_results(job.spans, runs),
+                               failures=failures))

@@ -1,0 +1,146 @@
+"""Asyncio front end of the sweep service.
+
+One event loop accepts connections and frames requests
+(:mod:`repro.service.http`); each parsed request is handed to the
+synchronous :meth:`~repro.service.daemon.SweepService.dispatch` on a
+thread-pool worker, so a long-running handler (a goldens recompute, a
+blocking stream read) never stalls the accept loop.  Streaming
+responses ship as chunked transfer encoding, one chunk per NDJSON
+event, pulled from the handler's generator the same way — blocking
+generator steps run on the pool, the loop only writes.
+"""
+
+import asyncio
+import threading
+
+from repro.service import http
+
+
+class ServiceServer:
+    """Serve one :class:`~repro.service.daemon.SweepService` over TCP.
+
+    :meth:`run` blocks the calling thread until the service drains and
+    stops (``POST /shutdown``) or :meth:`request_stop` is called from
+    anywhere; tests run it on a daemon thread and :meth:`wait_ready`
+    for the bound port (``port=0`` picks an ephemeral one).
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=0, on_ready=None):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.on_ready = on_ready
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._active = 0
+        self._idle = None
+
+    def run(self):
+        try:
+            asyncio.run(self._main())
+        finally:
+            self._ready.set()       # unblock waiters even on failure
+
+    def wait_ready(self, timeout=10.0):
+        """True once the listening socket is bound (port is final)."""
+        return self._ready.wait(timeout) and self._loop is not None
+
+    def request_stop(self):
+        """Thread-safe: make :meth:`run` return."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:    # loop already closed
+                pass
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        server = await asyncio.start_server(
+            self._handle, self.host, self.port,
+            limit=http.MAX_HEAD_BYTES)
+        self.port = server.sockets[0].getsockname()[1]
+        self.service.on_stopped = self.request_stop
+        self._ready.set()
+        if self.on_ready is not None:
+            self.on_ready(self)
+        async with server:
+            await self._stop.wait()
+        # A drain-triggered stop races the 202 response of the very
+        # request that caused it; let in-flight connections finish
+        # writing (bounded — an idle keep-alive client can't hold the
+        # shutdown hostage).
+        if self._active:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=5.0)
+            except asyncio.TimeoutError:
+                pass
+        self.service.close()
+
+    async def _handle(self, reader, writer):
+        self._active += 1
+        self._idle.clear()
+        try:
+            while True:
+                try:
+                    request = await http.read_request(reader)
+                except http.BadRequest as exc:
+                    await self._send(writer, http.error_response(
+                        400, str(exc)), keep_alive=False)
+                    break
+                if request is None:
+                    break
+                response = await self._loop.run_in_executor(
+                    None, self.service.dispatch, request)
+                keep_alive = request.headers.get(
+                    "connection", "keep-alive").lower() != "close"
+                await self._send(writer, response, keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                # Loop teardown cancels the close waiter; the socket
+                # is gone either way.
+                pass
+
+    async def _send(self, writer, response, keep_alive):
+        if response.stream is None:
+            writer.write(http.render_head(response,
+                                          keep_alive=keep_alive))
+            writer.write(response.body)
+            await writer.drain()
+            return
+        writer.write(http.render_head(response, chunked=True,
+                                      keep_alive=keep_alive))
+        await writer.drain()
+        iterator = iter(response.stream)
+        while True:
+            chunk = await self._loop.run_in_executor(
+                None, next, iterator, None)
+            if chunk is None:
+                break
+            writer.write(b"%x\r\n%s\r\n" % (len(chunk), chunk))
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+
+def serve(service, host="127.0.0.1", port=0, on_ready=None):
+    """Build a :class:`ServiceServer` and block serving ``service``."""
+    server = ServiceServer(service, host=host, port=port,
+                           on_ready=on_ready)
+    server.run()
+    return server

@@ -162,3 +162,85 @@ class TestGoldenResume:
         assert executor.resumed == 2
         assert executor.executed == len(specs) - 2
         assert [fingerprint_run(run) for run in resumed] == expected
+
+
+class TestServiceChaos:
+    """Execution faults through the *service*: a supervised worker
+    dying mid-sweep must surface in the API response as the exact
+    quarantine taxonomy — never as a hung connection."""
+
+    @staticmethod
+    def _serve(service):
+        import threading
+
+        from repro.service import ServiceServer
+
+        server = ServiceServer(service, port=0)
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        assert server.wait_ready(15)
+        return server, thread
+
+    @staticmethod
+    def _http(port, method, path, body=None):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            conn.request(method, path, body=payload)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _run_fault_sweep(self, service, sweep):
+        server, thread = self._serve(service)
+        try:
+            status, body = self._http(server.port, "POST", "/sweeps", sweep)
+            assert status == 202
+            job_id = json.loads(body)["id"]
+            # The stream must terminate (done event) instead of
+            # hanging the connection on the dead worker.
+            import http.client
+
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=120)
+            try:
+                conn.request("GET", f"/sweeps/{job_id}/stream")
+                events = [json.loads(line) for line in conn.getresponse()]
+            finally:
+                conn.close()
+            assert events[-1]["event"] == "done"
+            status, body = self._http(server.port, "GET",
+                                      f"/sweeps/{job_id}")
+            assert status == 200
+            return json.loads(body), events[-1]
+        finally:
+            server.request_stop()
+            thread.join(timeout=30)
+            service.close()
+
+    def test_worker_crash_quarantined_as_crash_in_api(self):
+        from repro.service import SweepService
+
+        payload, done = self._run_fault_sweep(
+            SweepService(),
+            {"apps": ["chrome"], "duration_s": 0.5, "iterations": 1,
+             "fault": "worker-crash"})
+        assert payload["state"] == "done"
+        kinds = [f["kind"] for f in payload["failures"]]
+        assert kinds == ["crash"]
+        assert all(k in FAILURE_KINDS for k in kinds)
+        assert [f["kind"] for f in done["failures"]] == ["crash"]
+
+    def test_worker_hang_quarantined_as_deadline_in_api(self):
+        from repro.service import SweepService
+
+        payload, done = self._run_fault_sweep(
+            SweepService(deadline_s=1.0),
+            {"apps": ["chrome"], "duration_s": 0.5, "iterations": 1,
+             "fault": "worker-hang"})
+        assert payload["state"] == "done"
+        assert [f["kind"] for f in payload["failures"]] == ["deadline"]
+        assert [f["kind"] for f in done["failures"]] == ["deadline"]

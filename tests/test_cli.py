@@ -29,6 +29,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "excel", "--gpu", "voodoo2"])
 
+    def test_serve_parses_service_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "2", "--cache", "/tmp/c",
+             "--retries", "1", "--deadline-us", "2000000",
+             "--chunk", "4"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.jobs == 2
+        assert args.cache == "/tmp/c"
+        assert args.retries == 1
+        assert args.deadline_us == 2000000
+        assert args.chunk == 4
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8765
+        assert args.jobs == 0
+        assert args.cache is None
+
 
 class TestCommands:
     def test_list_shows_all_thirty(self):

@@ -1,0 +1,495 @@
+"""End-to-end tests for the sweep service.
+
+Covers the full daemon lifecycle against a real server on an ephemeral
+port — submit, poll, stream, fetch — plus the framing layer, request
+validation, content-addressed dedup and conditional reuse, the
+CLI-byte-identity acceptance check, mutation conflicts, graceful
+drain, and the per-submission executor re-resolution regression.
+"""
+
+import asyncio
+import contextlib
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.reporting.payloads import canonical_json_bytes
+from repro.service import ServiceServer, SweepRequest, SweepService
+from repro.service.http import (
+    BadRequest,
+    HttpRequest,
+    HttpResponse,
+    parse_head,
+    read_request,
+    render_head,
+)
+from repro.validate.golden import default_golden_path
+
+DSE_PATH = default_golden_path().parent / "golden_dse.json"
+
+#: Small, fast sweep shared by most lifecycle tests.
+SWEEP = {"apps": ["excel", "vlc"], "duration_s": 0.4, "iterations": 1}
+
+
+# -- helpers -------------------------------------------------------------
+
+def make_request(method, path, body=None, headers=None):
+    """An in-process :class:`HttpRequest` (no sockets involved)."""
+    payload = json.dumps(body).encode("utf-8") if body is not None else b""
+    return HttpRequest(method=method, target=path, path=path, query={},
+                       headers=headers or {}, body=payload)
+
+
+def http_call(port, method, path, body=None, headers=None):
+    """One request over a real TCP connection; returns
+    ``(status, headers, body)``."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        payload = (json.dumps(body).encode("utf-8")
+                   if body is not None else None)
+        conn.request(method, path, body=payload, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def wait_job(service, job_id, timeout=120.0):
+    job = service.store.find(job_id)
+    assert job is not None and job.wait_done(timeout)
+    return job
+
+
+@contextlib.contextmanager
+def running_server(service):
+    server = ServiceServer(service, port=0)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.wait_ready(15)
+    try:
+        yield server
+    finally:
+        server.request_stop()
+        thread.join(timeout=15)
+        service.close()
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("service-cache")
+
+
+@pytest.fixture(scope="module")
+def server(cache_dir):
+    with running_server(SweepService(cache=cache_dir)) as srv:
+        yield srv
+
+
+# -- framing -------------------------------------------------------------
+
+def _read(blob):
+    async def go():
+        reader = asyncio.StreamReader(limit=64 * 1024)
+        reader.feed_data(blob)
+        reader.feed_eof()
+        return await read_request(reader)
+    return asyncio.run(go())
+
+
+class TestHttpFraming:
+    def test_request_with_query_and_body(self):
+        request = _read(b"POST /sweeps?x=1&y=b%20c HTTP/1.1\r\n"
+                        b"Host: h\r\nContent-Length: 7\r\n\r\n"
+                        b'{"a":1}')
+        assert request.method == "POST"
+        assert request.path == "/sweeps"
+        assert request.query == {"x": "1", "y": "b c"}
+        assert request.json() == {"a": 1}
+
+    def test_clean_eof_between_requests_is_none(self):
+        assert _read(b"") is None
+
+    def test_truncated_head_rejected(self):
+        with pytest.raises(BadRequest):
+            _read(b"GET / HTTP/1.1\r\nHos")
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(BadRequest):
+            _read(b"NONSENSE\r\n\r\n")
+
+    def test_bad_content_length_rejected(self):
+        with pytest.raises(BadRequest):
+            _read(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(BadRequest):
+            _read(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort")
+
+    def test_parse_head_lowercases_header_names(self):
+        method, target, headers = parse_head(
+            b"GET /x HTTP/1.1\r\nIf-None-Match: \"abc\"")
+        assert method == "GET"
+        assert target == "/x"
+        assert headers == {"if-none-match": '"abc"'}
+
+    def test_render_head_fixed_and_chunked(self):
+        response = HttpResponse(status=200, body=b"hello",
+                                headers={"X-Test": "1"})
+        head = render_head(response)
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: 5" in head
+        head = render_head(response, chunked=True, keep_alive=False)
+        assert b"Transfer-Encoding: chunked" in head
+        assert b"Connection: close" in head
+
+    def test_non_object_body_rejected(self):
+        request = make_request("POST", "/sweeps")
+        request.body = b"[1, 2]"
+        with pytest.raises(BadRequest):
+            request.json()
+
+
+# -- request validation --------------------------------------------------
+
+class TestSweepRequestValidation:
+    def test_defaults_match_cli_surface(self):
+        request = SweepRequest.from_payload({"apps": ["excel"]})
+        assert request.duration_s == 60.0
+        assert request.iterations == 3
+        assert request.smt is True
+
+    def test_machine_resolution_matches_cli(self):
+        request = SweepRequest.from_payload({
+            "apps": ["excel"],
+            "machine": {"cores": 4, "smt": False, "gpu": "gtx-680"}})
+        machine = request.machine()
+        assert machine.logical_cpus == 4
+        assert machine.smt_enabled is False
+        assert machine.gpu.name == "NVIDIA GTX 680"
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ({}, "apps"),
+        ({"apps": []}, "apps"),
+        ({"apps": "excel"}, "apps"),
+        ({"apps": ["minesweeper"]}, "unknown applications"),
+        ({"apps": ["excel"], "duration_s": 0}, "duration_s"),
+        ({"apps": ["excel"], "duration_s": "long"}, "duration_s"),
+        ({"apps": ["excel"], "iterations": 0}, "iterations"),
+        ({"apps": ["excel"], "machine": {"sockets": 2}}, "machine"),
+        ({"apps": ["excel"], "machine": {"cores": 0}}, "cores"),
+        ({"apps": ["excel"], "machine": {"gpu": "voodoo2"}}, "GPU"),
+        ({"apps": ["excel"], "streaming": "yes"}, "streaming"),
+        ({"apps": ["excel"], "salvage": True, "streaming": True},
+         "incompatible"),
+        ({"apps": ["excel"], "fault": "meteor-strike"}, "fault"),
+        ({"apps": ["excel"], "turbo": False}, "unknown request fields"),
+    ])
+    def test_invalid_payloads_rejected(self, payload, fragment):
+        with pytest.raises(BadRequest, match=fragment):
+            SweepRequest.from_payload(payload)
+
+    def test_invalid_submission_is_a_400_not_a_500(self):
+        service = SweepService()
+        try:
+            response = service.dispatch(
+                make_request("POST", "/sweeps", {"apps": ["nope"]}))
+            assert response.status == 400
+            assert "unknown applications" in json.loads(response.body)["error"]
+        finally:
+            service.close()
+
+
+# -- lifecycle over a real server ----------------------------------------
+
+class TestServiceLifecycle:
+    def test_submit_poll_stream_fetch(self, server):
+        status, _, body = http_call(server.port, "POST", "/sweeps", SWEEP)
+        assert status == 202
+        submission = json.loads(body)
+        job_id = submission["id"]
+        assert submission["total_runs"] == 2
+        assert submission["deduplicated"] is False
+        assert submission["backend"].startswith(("serial", "pool"))
+
+        # Stream progress as NDJSON; one app event per application,
+        # then the terminal done event — read incrementally off the
+        # chunked response while the sweep runs.
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=120)
+        try:
+            conn.request("GET", f"/sweeps/{job_id}/stream")
+            response = conn.getresponse()
+            assert response.status == 200
+            events = [json.loads(line) for line in response]
+        finally:
+            conn.close()
+        assert [e["event"] for e in events] == ["app", "app", "done"]
+        assert {e["app"] for e in events[:2]} == {"excel", "vlc"}
+        assert events[0]["completed"] < events[1]["completed"] == 2
+        assert events[-1]["executed"] >= 0
+
+        status, _, body = http_call(server.port, "GET",
+                                    f"/sweeps/{job_id}")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["state"] == "done"
+        assert payload["progress"]["completed_runs"] == 2
+        assert payload["failures"] == []
+
+        status, headers, body = http_call(server.port, "GET",
+                                          f"/sweeps/{job_id}/result")
+        assert status == 200
+        assert headers["ETag"] == f'"{job_id}"'
+        assert "immutable" in headers["Cache-Control"]
+        document = json.loads(body)
+        assert set(document["results"]) == {"excel", "vlc"}
+        assert document["metadata"] == {"duration_s": 0.4, "iterations": 1}
+
+    def test_result_bytes_identical_to_cli_suite_json(self, server,
+                                                      tmp_path):
+        path = tmp_path / "suite.json"
+        lines = []
+        code = main(["suite", "--apps", "excel,vlc", "--duration", "0.4",
+                     "--iterations", "1", "--json", str(path)],
+                    out=lines.append)
+        assert code == 0
+        status, _, body = http_call(server.port, "POST", "/sweeps", SWEEP)
+        job_id = json.loads(body)["id"]
+        wait_job(server.service, job_id)
+        status, _, body = http_call(server.port, "GET",
+                                    f"/sweeps/{job_id}/result")
+        assert status == 200
+        assert body == path.read_bytes()
+
+    def test_duplicate_submission_dedups_in_flight(self, server):
+        status, _, body = http_call(server.port, "POST", "/sweeps", SWEEP)
+        first = json.loads(body)
+        status, _, body = http_call(server.port, "POST", "/sweeps", SWEEP)
+        second = json.loads(body)
+        assert status == 200
+        assert second["deduplicated"] is True
+        assert second["id"] == first["id"]
+
+    def test_pending_result_answers_202_and_unknown_404(self):
+        from repro.service.jobs import SweepJob
+
+        service = SweepService()
+        try:
+            # A job parked in the store without ever being submitted
+            # to the runner stays deterministically queued.
+            sweep = SweepRequest.from_payload(SWEEP)
+            spans, specs = sweep.build()
+            digest = "ab" * 32
+            service.store.add(SweepJob(sweep, digest, spans, specs,
+                                       executor=None, backend="serial"))
+            response = service.dispatch(
+                make_request("GET", f"/sweeps/{digest}/result"))
+            assert response.status == 202
+            assert json.loads(response.body)["state"] == "queued"
+            response = service.dispatch(
+                make_request("GET", "/sweeps/" + "0" * 64))
+            assert response.status == 404
+        finally:
+            service.close()
+
+    def test_conditional_get_revalidates_with_304(self, server):
+        status, _, body = http_call(server.port, "POST", "/sweeps", SWEEP)
+        job_id = json.loads(body)["id"]
+        wait_job(server.service, job_id)
+        status, headers, _ = http_call(server.port, "GET",
+                                       f"/sweeps/{job_id}/result")
+        etag = headers["ETag"]
+        status, headers, body = http_call(
+            server.port, "GET", f"/sweeps/{job_id}/result",
+            headers={"If-None-Match": etag})
+        assert status == 304
+        assert body == b""
+        assert headers["ETag"] == etag
+
+    def test_warm_cache_reads_never_resimulate(self, cache_dir):
+        """A fresh service over a warmed cache serves the same result
+        with zero simulations (verified by executor call counting)."""
+        warm = SweepService(cache=cache_dir)
+        try:
+            response = warm.dispatch(
+                make_request("POST", "/sweeps", SWEEP))
+            job_id = json.loads(response.body)["id"]
+            job = wait_job(warm, job_id)
+            assert job.state == "done"
+            assert job.executor.executed == 0
+            status = json.loads(warm.dispatch(
+                make_request("GET", f"/sweeps/{job_id}")).body)
+            assert status["executed"] == 0
+        finally:
+            warm.close()
+
+    def test_frontiers_bytes_match_committed_goldens(self, server):
+        committed = json.loads(DSE_PATH.read_text())["frontiers"]
+        status, headers, body = http_call(server.port, "GET",
+                                          "/frontiers/excel")
+        assert status == 200
+        assert body == canonical_json_bytes(committed["excel"])
+        etag = headers["ETag"]
+        status, _, _ = http_call(server.port, "GET", "/frontiers/excel",
+                                 headers={"If-None-Match": etag})
+        assert status == 304
+        status, _, body = http_call(server.port, "GET", "/frontiers")
+        assert json.loads(body) == committed
+
+    def test_goldens_table_serves_committed_fingerprints(self, server):
+        status, _, body = http_call(server.port, "GET",
+                                    "/tables/goldens/excel")
+        assert status == 200
+        assert "c04-smt" in json.loads(body)
+        status, _, _ = http_call(server.port, "GET",
+                                 "/tables/goldens/minesweeper")
+        assert status == 404
+
+    def test_index_and_health(self, server):
+        status, _, body = http_call(server.port, "GET", "/")
+        assert status == 200
+        assert "POST /sweeps" in json.loads(body)["endpoints"]
+        status, _, body = http_call(server.port, "GET", "/healthz")
+        assert json.loads(body)["state"] == "running"
+
+    def test_unknown_route_404_and_wrong_method_405(self, server):
+        status, _, _ = http_call(server.port, "GET", "/nope")
+        assert status == 404
+        status, _, _ = http_call(server.port, "DELETE", "/sweeps")
+        assert status == 405
+        status, _, _ = http_call(server.port, "GET", "/shutdown")
+        assert status == 405
+
+    def test_concurrent_goldens_update_conflicts_with_409(self, server):
+        service = server.service
+        assert service.tables.mutation_lock.acquire(blocking=False)
+        try:
+            status, _, body = http_call(server.port, "POST", "/goldens",
+                                        {"apps": ["excel"]})
+            assert status == 409
+            assert "in progress" in json.loads(body)["error"]
+        finally:
+            service.tables.mutation_lock.release()
+
+    def test_goldens_update_writes_file_and_refreshes_etag(self, tmp_path):
+        golden = tmp_path / "goldens.json"
+        service = SweepService(golden_path=golden, dse_path=DSE_PATH)
+        try:
+            response = service.dispatch(
+                make_request("GET", "/tables/goldens"))
+            assert response.status == 404
+            response = service.dispatch(
+                make_request("POST", "/goldens", {"apps": ["excel"]}))
+            assert response.status == 200
+            assert json.loads(response.body)["updated"] == ["excel"]
+            assert golden.exists()
+            response = service.dispatch(
+                make_request("GET", "/tables/goldens/excel"))
+            assert response.status == 200
+            assert "c04-smt" in json.loads(response.body)
+        finally:
+            service.close()
+
+
+class TestGracefulShutdown:
+    def test_drain_completes_inflight_then_stops(self, tmp_path):
+        service = SweepService(cache=tmp_path / "cache")
+        server = ServiceServer(service, port=0)
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        assert server.wait_ready(15)
+
+        # A cold multi-second sweep keeps the drain window comfortably
+        # wider than the 503 probe below — a sub-second job can finish
+        # (and stop the server) before the probe even connects.
+        inflight = dict(SWEEP, duration_s=4.0)
+        status, _, body = http_call(server.port, "POST", "/sweeps",
+                                    inflight)
+        assert status == 202
+        job_id = json.loads(body)["id"]
+
+        status, _, body = http_call(server.port, "POST", "/shutdown")
+        assert status == 202
+        assert json.loads(body)["state"] in ("draining", "stopped")
+
+        # New submissions are refused while draining / stopped...
+        different = dict(SWEEP, iterations=2)
+        status, _, body = http_call(server.port, "POST", "/sweeps",
+                                    different)
+        assert status == 503
+        assert "draining" in json.loads(body)["error"]
+
+        # ...but the in-flight sweep runs to completion before the
+        # server exits.
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+        assert service.state == "stopped"
+        job = service.store.find(job_id)
+        assert job.state == "done"
+        assert job.result_bytes is not None
+        service.close()
+
+
+class TestExecutorReResolution:
+    """PR-7 regression: the auto-mode clamp is decided per submission,
+    not once at daemon startup."""
+
+    def test_backend_tracks_cpu_count_across_submissions(self, tmp_path,
+                                                         monkeypatch):
+        service = SweepService(jobs=0, cache=tmp_path / "cache")
+        try:
+            monkeypatch.setattr("repro.harness.supervisor.default_jobs",
+                                lambda: 1)
+            response = service.dispatch(make_request(
+                "POST", "/sweeps",
+                {"apps": ["excel"], "duration_s": 0.3, "iterations": 1}))
+            assert json.loads(response.body)["backend"] == "serial"
+
+            # The daemon "gains CPUs" between submissions: the next
+            # sweep must pick a pool without a restart.
+            monkeypatch.setattr("repro.harness.supervisor.default_jobs",
+                                lambda: 8)
+            response = service.dispatch(make_request(
+                "POST", "/sweeps",
+                {"apps": ["vlc"], "duration_s": 0.3, "iterations": 2}))
+            payload = json.loads(response.body)
+            assert payload["backend"] == "pool-2"
+            job = wait_job(service, payload["id"])
+            assert job.state == "done"
+        finally:
+            service.close()
+
+
+class TestServeCli:
+    def test_serve_verb_serves_and_shuts_down(self):
+        lines = []
+        thread = threading.Thread(
+            target=main, args=(["serve", "--port", "0"],),
+            kwargs={"out": lines.append}, daemon=True)
+        thread.start()
+        base = None
+        deadline = time.monotonic() + 15
+        while base is None and time.monotonic() < deadline:
+            base = next((line for line in list(lines)
+                         if line.startswith("serving on ")), None)
+            time.sleep(0.05)
+        assert base is not None
+        port = int(base.rsplit(":", 1)[1])
+        status = None
+        while status is None and time.monotonic() < deadline:
+            try:
+                status, _, body = http_call(port, "GET", "/healthz")
+            except (OSError, http.client.HTTPException):
+                time.sleep(0.1)
+        assert status == 200
+        status, _, _ = http_call(port, "POST", "/shutdown")
+        assert status == 202
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        text = "\n".join(lines)
+        assert "GET /sweeps/{id}/result" in text
+        assert "service stopped" in text
