@@ -487,6 +487,18 @@ def cmd_serve(args, out):
     if args.chunk < 1:
         out("error: --chunk must be >= 1")
         return 2
+    if args.job_workers < 1:
+        out("error: --job-workers must be >= 1")
+        return 2
+    if args.max_queue < 0:
+        out("error: --max-queue must be >= 0 (0 = unbounded)")
+        return 2
+    if args.job_ttl is not None and args.job_ttl <= 0:
+        out("error: --job-ttl must be positive")
+        return 2
+    if args.hang_s is not None and args.hang_s <= 0:
+        out("error: --hang-s must be positive")
+        return 2
     from repro.service import ENDPOINTS, ServiceServer, SweepService
 
     deadline_us = args.deadline_us
@@ -497,7 +509,13 @@ def cmd_serve(args, out):
         deadline_s=deadline_us / 1e6 if deadline_us else None,
         chunk=args.chunk,
         golden_path=args.golden,
-        dse_path=args.dse)
+        dse_path=args.dse,
+        ledger=args.ledger,
+        job_workers=args.job_workers,
+        max_queue=args.max_queue or None,
+        job_ttl_s=args.job_ttl,
+        drain_s=args.drain_s,
+        hang_s=args.hang_s)
 
     def ready(server):
         out(f"serving on http://{server.host}:{server.port}")
@@ -776,6 +794,37 @@ def build_parser():
     serve_parser.add_argument(
         "--chunk", type=int, default=1, metavar="K",
         help="specs per supervisor pipe round-trip")
+    serve_parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="write-ahead job ledger: every job transition is fsynced "
+             "to PATH before it takes effect, and a restarted daemon "
+             "replays it — finished sweeps restore through the result "
+             "cache (zero re-simulation), interrupted ones re-enqueue "
+             "and complete (implies --cache LEDGER.cache if unset)")
+    serve_parser.add_argument(
+        "--job-workers", type=int, default=2, metavar="N",
+        help="dispatcher worker threads draining the job queue "
+             "(default: 2; each job still fans out via its own "
+             "executor)")
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="queued-job cap; submissions beyond it get 429 + "
+             "Retry-After (default: 64; 0 = unbounded)")
+    serve_parser.add_argument(
+        "--job-ttl", type=float, default=None, metavar="S",
+        help="evict done/failed jobs from memory S seconds after they "
+             "finish (default: keep forever; the ledger keeps the "
+             "durable record)")
+    serve_parser.add_argument(
+        "--drain-s", type=float, default=60.0, metavar="S",
+        help="POST /shutdown drain bound: in-flight jobs still "
+             "running after S seconds are failed as `deadline` and "
+             "the server stops anyway (default: 60)")
+    serve_parser.add_argument(
+        "--hang-s", type=float, default=None, metavar="S",
+        help="dispatcher heartbeat deadline: a worker silent for S "
+             "seconds mid-job is declared hung, its job failed as "
+             "`deadline`, and a replacement spawned (default: off)")
     serve_parser.add_argument(
         "--golden", default=None, metavar="PATH",
         help="golden fingerprint file served under /tables/goldens "

@@ -364,6 +364,13 @@ class SupervisedExecutor:
         self.failures = []      # final RunFailure records
         self.incidents = []     # non-fatal recoveries (cache-corrupt)
 
+    @property
+    def cache_hits(self):
+        """Grid points restored from the content-addressed cache —
+        the counter that proves a recovered sweep re-simulated nothing
+        it had already finished."""
+        return self.cache.hits if self.cache is not None else 0
+
     # -- map -----------------------------------------------------------
 
     def map(self, specs):

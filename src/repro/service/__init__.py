@@ -4,23 +4,40 @@
 submissions dedup on the sweep digest, results are content-addressed
 (``ETag`` = digest) and byte-identical to ``repro suite --json``
 output, and progress streams as NDJSON while the supervised executor
-works through the grid.  See ``docs/architecture.md`` ("Sweep
-service") for the full design.
+works through the grid.  A write-ahead job ledger makes the job index
+durable across daemon crashes, a bounded multi-worker dispatcher pool
+sheds overload with 429s, and a watchdog respawns crashed or hung
+dispatchers.  See ``docs/architecture.md`` ("Sweep service" and
+"Durable service") for the full design.
 """
 
-from repro.service.daemon import ENDPOINTS, SweepService
+from repro.service.daemon import CircuitBreaker, ENDPOINTS, SweepService
 from repro.service.http import BadRequest, HttpRequest, HttpResponse
-from repro.service.jobs import JobRunner, JobStore, SweepJob, SweepRequest
+from repro.service.jobs import (
+    DispatcherPool,
+    JobRunner,
+    JobStore,
+    QueueFull,
+    SweepJob,
+    SweepRequest,
+)
+from repro.service.ledger import JobLedger, LedgerJob, replay
 from repro.service.server import ServiceServer, serve
 from repro.service.tables import TableStore
 
 __all__ = [
     "BadRequest",
+    "CircuitBreaker",
+    "DispatcherPool",
     "ENDPOINTS",
     "HttpRequest",
     "HttpResponse",
+    "JobLedger",
     "JobRunner",
     "JobStore",
+    "LedgerJob",
+    "QueueFull",
+    "replay",
     "ServiceServer",
     "serve",
     "SweepJob",

@@ -1,4 +1,4 @@
-"""The sweep service: routing, dedup, lifecycle.
+"""The sweep service: routing, dedup, durability, lifecycle.
 
 :class:`SweepService` is the whole daemon minus the sockets — a
 synchronous ``dispatch(HttpRequest) -> HttpResponse`` the asyncio
@@ -8,8 +8,10 @@ without binding a port.
 Endpoints::
 
     GET  /                      service index
-    GET  /healthz               liveness + job counts
-    POST /sweeps                submit a sweep (dedup by digest)
+    GET  /healthz               liveness + job/queue/dispatcher counters
+    GET  /readyz                admission: accepting new sweeps?
+    POST /sweeps                submit a sweep (dedup by digest; 429
+                                + Retry-After when the queue is full)
     GET  /sweeps                list jobs
     GET  /sweeps/{id}           job status + progress
     GET  /sweeps/{id}/result    final suite payload (ETag, immutable)
@@ -17,7 +19,18 @@ Endpoints::
     GET  /tables/goldens[/app]  committed golden fingerprints
     GET  /frontiers[/app]       committed DSE Pareto frontiers
     POST /goldens               re-record goldens (409 when busy)
-    POST /shutdown              drain in-flight jobs, then stop
+    POST /shutdown              drain (bounded) in-flight jobs, stop
+
+Durability: with a ``ledger``, every job transition is written ahead
+to a fsynced JSONL file; on boot the ledger replays — finished jobs
+re-resolve through the content-addressed result cache (zero
+simulation, byte-identical payloads), interrupted ones re-enqueue and
+complete, re-simulating only grid points that never finished.
+
+Overload: the dispatcher queue is bounded (429 + ``Retry-After`` at
+capacity, ``/readyz`` flips to 503) and a circuit breaker watches for
+repeated pool-worker crash quarantines, degrading new submissions to
+the serial in-process backend until the pool proves healthy again.
 
 Cache discipline: a sweep result's identity *is* its digest (the grid
 is seed-determined), so ``/sweeps/{id}/result`` is immutable and
@@ -26,8 +39,10 @@ mutated, so they revalidate via ``ETag`` each time.
 """
 
 import json
+import logging
 import re
 import threading
+import time
 
 from repro.harness.cache import ResultCache, spec_key
 from repro.harness.supervisor import SupervisedExecutor, sweep_digest
@@ -37,8 +52,17 @@ from repro.service.http import (
     error_response,
     json_response,
 )
-from repro.service.jobs import JobRunner, JobStore, SweepJob, SweepRequest
+from repro.service.jobs import (
+    DispatcherPool,
+    JobStore,
+    QueueFull,
+    SweepJob,
+    SweepRequest,
+)
+from repro.service.ledger import JobLedger, replay
 from repro.service.tables import TableStore
+
+log = logging.getLogger("repro.service")
 
 #: Immutable content-addressed results: cache forever.
 IMMUTABLE = "public, max-age=31536000, immutable"
@@ -52,53 +76,215 @@ _TABLES = re.compile(r"^/tables/goldens(?:/([A-Za-z0-9_-]+))?$")
 _FRONTIERS = re.compile(r"^/frontiers(?:/([A-Za-z0-9_-]+))?$")
 
 ENDPOINTS = {
-    "POST /sweeps": "submit a sweep (apps x machine x config)",
+    "POST /sweeps": "submit a sweep (429 + Retry-After at capacity)",
     "GET /sweeps": "list submitted sweeps",
     "GET /sweeps/{id}": "job status and progress",
     "GET /sweeps/{id}/result": "final suite payload (ETag, immutable)",
     "GET /sweeps/{id}/stream": "NDJSON progress events",
+    "GET /healthz": "liveness, job/queue/dispatcher counters",
+    "GET /readyz": "admission: 200 accepting, 503 saturated/draining",
     "GET /tables/goldens[/{app}]": "committed golden fingerprints",
     "GET /frontiers[/{app}]": "committed DSE Pareto frontiers",
     "POST /goldens": "re-record golden fingerprints",
-    "POST /shutdown": "drain in-flight jobs, then stop",
+    "POST /shutdown": "drain in-flight jobs (bounded), then stop",
 }
 
 
+class CircuitBreaker:
+    """Degrade to the serial backend after repeated crash quarantines.
+
+    ``threshold`` consecutive jobs carrying ``crash`` quarantines trip
+    the breaker: for ``cooldown_s`` every new submission builds a
+    serial in-process executor (a crashing worker *pool* — OOM killer,
+    a bad libc, cgroup limits — usually keeps crashing; in-process
+    execution trades parallelism for progress).  After the cooldown
+    the breaker goes half-open: the next submission tries the pool
+    again, and its outcome closes or re-trips the breaker.
+    """
+
+    def __init__(self, threshold=3, cooldown_s=60.0):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.tripped = 0        # times the breaker opened (monotonic)
+        self._crashes = 0
+        self._opened_at = None
+        self._lock = threading.Lock()
+
+    def record_crash(self):
+        with self._lock:
+            self._crashes += 1
+            if self._crashes >= self.threshold:
+                if self._opened_at is None:
+                    self.tripped += 1
+                self._opened_at = time.monotonic()
+
+    def record_ok(self):
+        with self._lock:
+            self._crashes = 0
+            self._opened_at = None
+
+    def degraded(self):
+        """True while new submissions should avoid the worker pool."""
+        with self._lock:
+            if self._opened_at is None:
+                return False
+            return time.monotonic() - self._opened_at < self.cooldown_s
+
+    def state(self):
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if time.monotonic() - self._opened_at < self.cooldown_s:
+                return "open"
+            return "half-open"
+
+    def to_payload(self):
+        return {"state": self.state(),
+                "consecutive_crashes": self._crashes,
+                "threshold": self.threshold,
+                "tripped": self.tripped}
+
+
 class SweepService:
-    """Routing + job lifecycle over the shared harness machinery.
+    """Routing + durable job lifecycle over the shared harness machinery.
 
     Executor configuration (``jobs``/``cache``/``retries``/
     ``deadline_s``/``chunk``) is stored, not resolved: every submission
     builds a *fresh* :class:`SupervisedExecutor` and asks it for its
     backend then, so the auto-mode CPU clamp tracks the machine the
     daemon runs on now — not the one it started on.
+
+    ``ledger`` makes the job index durable (see the module docstring);
+    it implies a result cache (``<ledger>.cache`` when none is given),
+    because a ledger can say *that* a sweep finished but only the
+    content-addressed cache can restore *what* it produced.
     """
 
     def __init__(self, jobs=0, cache=None, retries=0, deadline_s=None,
-                 chunk=1, golden_path=None, dse_path=None):
+                 chunk=1, golden_path=None, dse_path=None,
+                 ledger=None, job_workers=1, max_queue=None,
+                 job_ttl_s=None, drain_s=60.0, hang_s=None,
+                 breaker_threshold=3, breaker_cooldown_s=60.0):
         self.jobs = jobs
+        if cache is None and ledger is not None:
+            cache = str(ledger) + ".cache"
         self.cache_dir = str(cache) if cache is not None else None
         self.retries = retries
         self.deadline_s = deadline_s
         self.chunk = chunk
-        self.store = JobStore()
-        self.runner = JobRunner()
+        self.drain_s = drain_s
+        self.store = JobStore(ttl_s=job_ttl_s)
+        self.breaker = CircuitBreaker(threshold=breaker_threshold,
+                                      cooldown_s=breaker_cooldown_s)
+        self.runner = DispatcherPool(workers=job_workers,
+                                     max_queue=max_queue,
+                                     hang_s=hang_s,
+                                     observer=self._observe_job)
         self.tables = TableStore(golden_path=golden_path,
                                  dse_path=dse_path)
         self.state = "running"
         self.on_stopped = None
+        self.recovered = {"finished": 0, "interrupted": 0}
+        self.rejected = 0       # submissions refused with 429
         self._lock = threading.Lock()
+        self._ledger = None
+        if ledger is not None:
+            replayed = replay(ledger)
+            self._ledger = JobLedger(ledger).open()
+            self._recover(replayed)
 
     def _make_executor(self):
         cache = (ResultCache(self.cache_dir)
                  if self.cache_dir is not None else None)
-        return SupervisedExecutor(jobs=self.jobs, cache=cache,
+        jobs = self.jobs
+        if self.breaker.degraded():
+            jobs = None         # serial in-process backend
+        return SupervisedExecutor(jobs=jobs, cache=cache,
                                   retries=self.retries,
                                   deadline_s=self.deadline_s,
                                   chunk=self.chunk)
 
     def close(self):
         self.runner.close()
+        if self._ledger is not None:
+            self._ledger.close()
+
+    # -- durability ----------------------------------------------------
+
+    def _observe_job(self, event, job):
+        """Dispatcher transition hook: write-ahead ledger + breaker."""
+        if self._ledger is not None:
+            if event == "started":
+                self._ledger.record_started(job.id)
+            elif event == "finished":
+                self._ledger.record_finished(
+                    job.id, executed=job.executed,
+                    failures=[f.to_payload() for f in job.failures])
+            elif event == "failed":
+                self._ledger.record_failed(job.id,
+                                           job.error or "unknown error")
+        if event in ("finished", "failed"):
+            if any(f.kind == "crash" for f in job.failures):
+                self.breaker.record_crash()
+            elif event == "finished":
+                self.breaker.record_ok()
+
+    def _recover(self, replayed):
+        """Re-admit every unresolved ledger job on daemon boot.
+
+        Finished jobs re-enqueue too: their grid points live in the
+        result cache, so they re-resolve without one simulation and
+        their result pointers (digest -> payload bytes) are restored.
+        ``failed`` jobs stay failed — resubmission is the retry.
+        A record that no longer validates (apps renamed, old format)
+        is logged and skipped; recovery never takes the daemon down.
+        """
+        for entry in replayed:
+            if entry.state == "failed":
+                continue
+            try:
+                sweep = SweepRequest.from_payload(entry.request)
+                job = self._admit(sweep, force=True)
+            except (BadRequest, QueueFull) as exc:
+                log.warning("ledger job %s not recoverable: %s",
+                            entry.id[:12], exc)
+                continue
+            kind = "finished" if entry.state == "finished" else "interrupted"
+            job.recovered = kind
+            self.recovered[kind] += 1
+        if any(self.recovered.values()):
+            log.info("ledger replay: %d finished, %d interrupted job(s) "
+                     "re-admitted", self.recovered["finished"],
+                     self.recovered["interrupted"])
+
+    def _admit(self, sweep, force=False):
+        """Build, record and enqueue one sweep job (dedup-aware)."""
+        spans, specs = sweep.build()
+        digest = sweep_digest([spec_key(spec) for spec in specs])
+        with self._lock:
+            job = self.store.dedup(digest)
+            if job is not None:
+                return job
+            executor = self._make_executor()
+            job = SweepJob(sweep, digest, spans, specs, executor,
+                           backend=executor.planned_backend(len(specs)))
+            if self._ledger is not None:
+                self._ledger.record_submitted(digest, sweep.to_payload())
+            self.store.add(job)
+            try:
+                self.runner.submit(job, force=force)
+            except QueueFull:
+                # Roll the admission back: the 429'd job must neither
+                # dedup future submissions nor resurrect from the
+                # ledger on restart.
+                self.store.discard(digest)
+                if self._ledger is not None:
+                    self._ledger.record_failed(
+                        digest, "rejected: job queue at capacity")
+                raise
+        return job
 
     # -- dispatch ------------------------------------------------------
 
@@ -117,6 +303,8 @@ class SweepService:
             return self._get_only(method) or self._index()
         if path == "/healthz":
             return self._get_only(method) or self._health()
+        if path == "/readyz":
+            return self._get_only(method) or self._ready()
         if path == "/sweeps":
             if method == "POST":
                 return self._submit(request)
@@ -148,7 +336,7 @@ class SweepService:
         if path == "/shutdown":
             if method != "POST":
                 return error_response(405, "use POST /shutdown")
-            return self._shutdown()
+            return self._shutdown(request)
         return error_response(404, f"no such endpoint: {path}")
 
     @staticmethod
@@ -167,14 +355,48 @@ class SweepService:
         })
 
     def _health(self):
+        """Liveness: answers as long as the process serves requests."""
         jobs = self.store.all()
+        runner = self.runner
         return json_response({
             "state": self.state,
             "jobs": {
                 state: sum(1 for j in jobs if j.state == state)
                 for state in ("queued", "running", "done", "failed")
             },
+            "queue": {
+                "depth": runner.queue_depth(),
+                "max": runner.max_queue,
+                "workers": len(runner._workers),
+                "rejected": self.rejected,
+            },
+            "dispatchers": {
+                "crashed": runner.crashed,
+                "hung": runner.hung,
+                "respawned": runner.respawned,
+            },
+            "evicted_jobs": self.store.evicted,
+            "recovered": dict(self.recovered),
+            "circuit": self.breaker.to_payload(),
         })
+
+    def _ready(self):
+        """Admission: distinguishes *accepting* from merely *alive*."""
+        if self.state != "running":
+            return error_response(503, "service is not accepting sweeps",
+                                  ready=False, state=self.state)
+        if self.runner.saturated():
+            return json_response(
+                {"ready": False, "state": self.state,
+                 "reason": "dispatcher queue at capacity"},
+                status=503,
+                headers={"Retry-After": str(self._retry_after())})
+        return json_response({"ready": True, "state": self.state})
+
+    def _retry_after(self):
+        """Seconds a 429/503 client should wait before retrying —
+        crude but honest: one queue slot per second, clamped."""
+        return max(1, min(60, self.runner.queue_depth()))
 
     def _submit(self, request):
         if self.state != "running":
@@ -182,20 +404,18 @@ class SweepService:
                 503, "service is draining; not accepting new sweeps",
                 state=self.state)
         sweep = SweepRequest.from_payload(request.json())
-        spans, specs = sweep.build()
-        digest = sweep_digest([spec_key(spec) for spec in specs])
-        with self._lock:
-            job = self.store.dedup(digest)
-            if job is not None:
-                return json_response(
-                    self._submission_payload(job, deduplicated=True))
-            executor = self._make_executor()
-            job = SweepJob(sweep, digest, spans, specs, executor,
-                           backend=executor.planned_backend(len(specs)))
-            self.store.add(job)
-            self.runner.submit(job)
+        try:
+            job = self._admit(sweep)
+        except QueueFull as exc:
+            self.rejected += 1
+            return json_response(
+                {"error": str(exc), "state": self.state},
+                status=429,
+                headers={"Retry-After": str(self._retry_after())})
+        deduplicated = job.request is not sweep
         return json_response(
-            self._submission_payload(job, deduplicated=False), status=202)
+            self._submission_payload(job, deduplicated=deduplicated),
+            status=200 if deduplicated else 202)
 
     @staticmethod
     def _submission_payload(job, deduplicated):
@@ -300,17 +520,40 @@ class SweepService:
             self.tables.mutation_lock.release()
         return json_response(summary)
 
-    def _shutdown(self):
+    def _shutdown(self, request):
+        drain_s = self.drain_s
+        payload = request.json()
+        if "drain_s" in payload:
+            value = payload["drain_s"]
+            if not isinstance(value, (int, float)) or value < 0:
+                raise BadRequest("'drain_s' must be a number >= 0")
+            drain_s = float(value)
         with self._lock:
             if self.state == "running":
                 self.state = "draining"
                 threading.Thread(target=self._drain_and_stop,
+                                 args=(drain_s,),
                                  daemon=True,
                                  name="sweep-drain").start()
-        return json_response({"state": self.state}, status=202)
+        return json_response({"state": self.state, "drain_s": drain_s},
+                             status=202)
 
-    def _drain_and_stop(self):
-        self.runner.drain()
+    def _drain_and_stop(self, drain_s):
+        drained = self.runner.drain(timeout=drain_s)
+        if not drained:
+            # The drain deadline expired on a wedged or long job: fail
+            # everything still in flight as `deadline` quarantines so
+            # clients' streams terminate, then stop anyway.
+            for job in self.store.all():
+                if job.state in ("queued", "running"):
+                    if job.fail_quarantined(
+                            "deadline",
+                            f"shutdown drain deadline ({drain_s:g}s) "
+                            f"expired before this sweep finished"):
+                        self._observe_job("failed", job)
+            self.runner.abandon_active()
+            log.warning("drain deadline (%gs) expired; in-flight jobs "
+                        "failed as deadline quarantines", drain_s)
         self.state = "stopped"
         callback = self.on_stopped
         if callback is not None:

@@ -1,4 +1,4 @@
-"""Sweep jobs: validated requests, content-addressed dedup, the runner.
+"""Sweep jobs: validated requests, content-addressed dedup, dispatch.
 
 A sweep submission is normalized into the *same* spec grid the CLI
 ``repro suite`` builds (:func:`repro.harness.suite.suite_spans`), so
@@ -7,9 +7,17 @@ ordered cache keys — is shared with the journal/cache machinery.  Two
 requests asking for the same physics get the same digest, the same
 job, and (results being seed-determined) byte-identical payloads;
 that digest doubles as the job id and the result's ``ETag``.
+
+Dispatch is a :class:`DispatcherPool`: N worker threads draining one
+bounded FIFO, under a watchdog that heartbeats every worker — a
+crashed or wedged dispatcher fails only its own job (with the
+supervisor's quarantine taxonomy) and is replaced, so a dispatcher
+bug degrades one sweep, never the daemon.
 """
 
+import logging
 import threading
+import time
 from collections import deque
 from dataclasses import replace
 
@@ -19,11 +27,17 @@ from repro.reporting.payloads import canonical_json_bytes, suite_payload
 from repro.service.http import BadRequest
 from repro.sim import SECOND
 
+log = logging.getLogger("repro.service")
+
 _REQUEST_KEYS = frozenset({
     "apps", "duration_s", "iterations", "machine",
     "streaming", "validate", "salvage", "fault", "fault_seed",
 })
 _MACHINE_KEYS = frozenset({"cores", "smt", "gpu"})
+
+
+class QueueFull(Exception):
+    """The dispatcher queue is at capacity (-> 429 at the API edge)."""
 
 
 class SweepRequest:
@@ -85,6 +99,9 @@ class SweepRequest:
         if gpu is not None and gpu not in GPUS:
             raise BadRequest(f"unknown GPU {gpu!r}; "
                              f"known: {', '.join(sorted(GPUS))}")
+        smt = machine.get("smt", True)
+        if not isinstance(smt, bool):
+            raise BadRequest("'machine.smt' must be a boolean")
         flags = {}
         for name in ("streaming", "validate", "salvage"):
             value = payload.get(name, False)
@@ -105,7 +122,7 @@ class SweepRequest:
         if not isinstance(fault_seed, int):
             raise BadRequest("'fault_seed' must be an integer")
         return cls(apps=apps, duration_s=duration_s, iterations=iterations,
-                   cores=cores, smt=machine.get("smt", True), gpu=gpu,
+                   cores=cores, smt=smt, gpu=gpu,
                    fault=fault, fault_seed=fault_seed, **flags)
 
     def machine(self):
@@ -138,6 +155,8 @@ class SweepRequest:
                 "iterations": self.iterations}
 
     def to_payload(self):
+        """JSON form that round-trips through :meth:`from_payload` —
+        the shape the job ledger persists for crash recovery."""
         return {
             "apps": list(self.apps),
             "duration_s": self.duration_s,
@@ -161,6 +180,12 @@ class SweepJob:
     is an append-only event list guarded by one condition variable;
     readers wait on it with bounded timeouts, so a missed notify can
     delay a stream chunk but never deadlock a connection.
+
+    Terminal transitions are idempotent and first-writer-wins: the
+    watchdog can fail a job a wedged dispatcher still holds, and the
+    dispatcher's eventual ``finish``/``fail`` becomes a no-op instead
+    of resurrecting it.  Every mutator returns True only when it
+    actually performed the transition.
     """
 
     def __init__(self, request, digest, spans, specs, executor,
@@ -174,21 +199,31 @@ class SweepJob:
         self.backend = backend
         self.state = "queued"
         self.executed = 0
+        self.cache_hits = 0
         self.failures = []
         self.result_bytes = None
         self.error = None
+        self.recovered = None   # "finished" | "interrupted" when replayed
+        self.finished_at = None
         self._events = []
         self._cond = threading.Condition()
 
     def etag(self):
         return f'"{self.digest}"'
 
-    # -- writer side (the runner thread) -------------------------------
+    def terminal(self):
+        with self._cond:
+            return self.state in ("done", "failed")
+
+    # -- writer side (dispatcher workers + watchdog) -------------------
 
     def mark_running(self):
         with self._cond:
+            if self.state != "queued":
+                return False
             self.state = "running"
             self._cond.notify_all()
+            return True
 
     def add_event(self, event):
         with self._cond:
@@ -201,26 +236,52 @@ class SweepJob:
                                 metadata=self.request.metadata())
         body = canonical_json_bytes(payload)
         with self._cond:
+            if self.state in ("done", "failed"):
+                return False
             self.result_bytes = body
             self.failures = list(suite_result.failures)
             self.executed = self.executor.executed
+            self.cache_hits = getattr(self.executor, "cache_hits", 0)
             self._events.append({
                 "event": "done",
                 "id": self.id,
                 "etag": self.etag(),
                 "executed": self.executed,
+                "cache_hits": self.cache_hits,
                 "failures": [f.to_payload() for f in self.failures],
             })
             self.state = "done"
+            self.finished_at = time.monotonic()
             self._cond.notify_all()
+            return True
 
     def fail(self, exc):
+        return self._fail_locked(f"{type(exc).__name__}: {exc}")
+
+    def fail_quarantined(self, kind, detail):
+        """Terminal failure attributed to the service itself (a crashed
+        or hung dispatcher, an expired drain), spelled in the exact
+        quarantine taxonomy so API consumers see one failure language.
+        """
+        failure = RunFailure(index=-1, app="*", seed=0, kind=kind,
+                             attempts=1, detail=detail)
+        return self._fail_locked(detail, failure=failure)
+
+    def _fail_locked(self, error, failure=None):
         with self._cond:
-            self.error = f"{type(exc).__name__}: {exc}"
-            self._events.append({"event": "failed", "id": self.id,
-                                 "error": self.error})
+            if self.state in ("done", "failed"):
+                return False
+            self.error = error
+            if failure is not None:
+                self.failures.append(failure)
+            self._events.append({
+                "event": "failed", "id": self.id, "error": error,
+                "failures": [f.to_payload() for f in self.failures],
+            })
             self.state = "failed"
+            self.finished_at = time.monotonic()
             self._cond.notify_all()
+            return True
 
     # -- reader side ---------------------------------------------------
 
@@ -241,8 +302,6 @@ class SweepJob:
 
     def wait_done(self, timeout=60.0):
         """Block until terminal (tests and the drain path); True if so."""
-        import time
-
         deadline = time.monotonic() + timeout
         with self._cond:
             while self.state not in ("done", "failed"):
@@ -271,24 +330,47 @@ class SweepJob:
                 },
                 "failures": [f.to_payload() for f in self.failures],
             }
+            if self.recovered is not None:
+                payload["recovered"] = self.recovered
             if self.state == "done":
                 payload["etag"] = self.etag()
                 payload["executed"] = self.executed
+                payload["cache_hits"] = self.cache_hits
             if self.error is not None:
                 payload["error"] = self.error
             return payload
 
 
 class JobStore:
-    """Jobs by digest, with in-flight dedup.
+    """Jobs by digest, with in-flight dedup and TTL eviction.
 
     ``find`` accepts the full digest or any unambiguous prefix of at
     least 8 hex characters (the submission response hands out both).
+
+    ``ttl_s`` bounds memory in a long-running daemon: terminal jobs
+    older than the TTL are evicted lazily on every store access (the
+    ledger keeps the durable record, and the result cache makes a
+    resubmission of an evicted sweep nearly free).
     """
 
-    def __init__(self):
+    def __init__(self, ttl_s=None):
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (None = keep forever)")
+        self.ttl_s = ttl_s
+        self.evicted = 0
         self._jobs = {}
         self._lock = threading.Lock()
+
+    def _evict_locked(self, now=None):
+        if self.ttl_s is None:
+            return
+        now = time.monotonic() if now is None else now
+        expired = [digest for digest, job in self._jobs.items()
+                   if job.finished_at is not None
+                   and now - job.finished_at > self.ttl_s]
+        for digest in expired:
+            del self._jobs[digest]
+            self.evicted += 1
 
     def dedup(self, digest):
         """The live job already covering ``digest``, if any.
@@ -296,6 +378,7 @@ class JobStore:
         A ``failed`` job does not dedup — resubmission is the retry.
         """
         with self._lock:
+            self._evict_locked()
             job = self._jobs.get(digest)
             if job is not None and job.state == "failed":
                 return None
@@ -303,10 +386,17 @@ class JobStore:
 
     def add(self, job):
         with self._lock:
+            self._evict_locked()
             self._jobs[job.digest] = job
+
+    def discard(self, job_id):
+        """Roll back an admission the queue refused (429 path)."""
+        with self._lock:
+            self._jobs.pop(job_id, None)
 
     def find(self, job_id):
         with self._lock:
+            self._evict_locked()
             job = self._jobs.get(job_id)
             if job is not None:
                 return job
@@ -319,44 +409,122 @@ class JobStore:
 
     def all(self):
         with self._lock:
+            self._evict_locked()
             return list(self._jobs.values())
 
 
-class JobRunner:
-    """One dispatcher thread draining a FIFO of sweep jobs.
+class _Dispatcher:
+    """One dispatcher worker: its thread, active job and heartbeat."""
 
-    One job runs at a time — parallelism lives *inside* a job (its
-    executor fans the grid out), so two concurrent sweeps never fight
-    over the same worker pool.  ``map`` is called once per app span,
-    which is what turns a monolithic sweep into streamable progress:
-    each span's completion appends an ``app`` event before the next
-    span starts.
+    __slots__ = ("name", "thread", "job", "heartbeat", "abandoned")
+
+    def __init__(self, name):
+        self.name = name
+        self.thread = None
+        self.job = None
+        self.heartbeat = time.monotonic()
+        self.abandoned = False
+
+
+class DispatcherPool:
+    """N dispatcher threads draining one bounded FIFO of sweep jobs.
+
+    Parallelism *across* jobs lives here; parallelism *inside* a job
+    still belongs to its executor.  ``max_queue`` bounds the backlog —
+    :meth:`submit` raises :class:`QueueFull` at capacity so the API
+    edge can answer 429 instead of queueing unboundedly.
+
+    A watchdog thread heartbeats every worker.  A dispatcher whose
+    thread died mid-job (it can happen: an executor bug, a chaos
+    injection) has its job failed as a ``crash`` quarantine and is
+    respawned; with ``hang_s`` set, a dispatcher whose heartbeat goes
+    stale mid-job is declared hung, its job failed as ``deadline``,
+    the wedged thread abandoned (a Python thread cannot be killed) and
+    a replacement spawned.  Either way the job's stream terminates and
+    the pool keeps serving.
+
+    ``observer(event, job)`` is called on ``started``/``finished``/
+    ``failed`` transitions the pool performs — the daemon wires the
+    write-ahead ledger and the circuit breaker through it.  ``chaos``
+    is a test-only injection point invoked as ``chaos(job, worker)``
+    right before a job runs; it may raise (simulating a dispatcher
+    crash) or block (simulating a hang).
     """
 
-    def __init__(self):
+    #: Watchdog poll tick (seconds).
+    TICK_S = 0.05
+
+    def __init__(self, workers=1, max_queue=None, hang_s=None,
+                 observer=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (None = unbounded)")
+        if hang_s is not None and hang_s <= 0:
+            raise ValueError("hang_s must be positive (None = disabled)")
+        self.max_queue = max_queue
+        self.hang_s = hang_s
+        self.observer = observer
+        self.chaos = None
+        self.crashed = 0        # dispatcher threads found dead mid-job
+        self.hung = 0           # dispatchers that missed their heartbeat
+        self.respawned = 0      # replacement workers brought up
         self._queue = deque()
         self._cond = threading.Condition()
-        self._active = None
         self._closed = False
-        self._thread = threading.Thread(target=self._loop, daemon=True,
-                                        name="sweep-runner")
-        self._thread.start()
+        self._serial = 0
+        self._workers = [self._spawn() for _ in range(workers)]
+        self._watchdog = threading.Thread(
+            target=self._watch, daemon=True, name="sweep-watchdog")
+        self._watchdog.start()
 
-    def submit(self, job):
+    # -- submission ----------------------------------------------------
+
+    def submit(self, job, force=False):
+        """Enqueue ``job``; :class:`QueueFull` at capacity.
+
+        ``force`` bypasses the bound — recovery re-enqueues ledger jobs
+        that were already admitted before the crash.
+        """
         with self._cond:
             if self._closed:
-                raise RuntimeError("runner is closed")
+                raise RuntimeError("dispatcher pool is closed")
+            if (not force and self.max_queue is not None
+                    and len(self._queue) >= self.max_queue):
+                raise QueueFull(
+                    f"dispatcher queue at capacity "
+                    f"({self.max_queue} jobs waiting)")
             self._queue.append(job)
             self._cond.notify_all()
 
-    def drain(self, timeout=None):
-        """Block until every queued/running job is resolved."""
-        import time
+    def queue_depth(self):
+        with self._cond:
+            return len(self._queue)
 
+    def saturated(self):
+        with self._cond:
+            return (self.max_queue is not None
+                    and len(self._queue) >= self.max_queue)
+
+    def active_jobs(self):
+        with self._cond:
+            return [w.job for w in self._workers
+                    if w.job is not None and not w.abandoned]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain(self, timeout=None):
+        """Block until every queued/running job is resolved.
+
+        Abandoned (wedged) workers do not count — their jobs are
+        already failed.  Returns False on timeout.
+        """
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
         with self._cond:
-            while self._queue or self._active is not None:
+            while self._queue or any(
+                    w.job is not None and not w.abandoned
+                    for w in self._workers):
                 remaining = 1.0
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -365,36 +533,82 @@ class JobRunner:
                 self._cond.wait(min(remaining, 1.0))
             return True
 
+    def abandon_active(self):
+        """Give up on every in-flight job (the drain-deadline path has
+        already failed them); wedged threads can no longer notify."""
+        with self._cond:
+            for worker in self._workers:
+                if worker.job is not None:
+                    worker.abandoned = True
+            self._cond.notify_all()
+
     def close(self):
         with self._cond:
             self._closed = True
+            self._queue.clear()
             self._cond.notify_all()
-        self._thread.join(timeout=10)
+        for worker in self._workers:
+            if worker.thread is not None and not worker.abandoned:
+                worker.thread.join(timeout=10)
+        self._watchdog.join(timeout=10)
 
-    def _loop(self):
+    # -- worker loop ---------------------------------------------------
+
+    def _spawn(self):
+        worker = _Dispatcher(f"dispatch-{self._serial}")
+        self._serial += 1
+        worker.thread = threading.Thread(
+            target=self._loop, args=(worker,), daemon=True,
+            name=worker.name)
+        worker.thread.start()
+        return worker
+
+    def _loop(self, worker):
         while True:
             with self._cond:
-                while not self._queue and not self._closed:
+                while (not self._queue and not self._closed
+                        and not worker.abandoned):
                     self._cond.wait(1.0)
-                if self._closed and not self._queue:
+                if worker.abandoned or (self._closed and not self._queue):
                     return
                 job = self._queue.popleft()
-                self._active = job
+                if job.terminal():
+                    # Failed while queued (drain deadline): skip.
+                    self._cond.notify_all()
+                    continue
+                worker.job = job
+                worker.heartbeat = time.monotonic()
+            hook = self.chaos
+            if hook is not None:
+                # Deliberately outside the try: an exception here kills
+                # this dispatcher thread, which is the point.
+                hook(job, worker)
             try:
-                self._run(job)
-            except Exception as exc:       # pragma: no cover - backstop
-                job.fail(exc)
+                if not worker.abandoned:
+                    self._run(job, worker)
+            except Exception as exc:    # pragma: no cover - backstop
+                if job.fail(exc):
+                    self._observe("failed", job)
             finally:
                 with self._cond:
-                    self._active = None
+                    worker.job = None
                     self._cond.notify_all()
+            if worker.abandoned:
+                return
 
-    def _run(self, job):
-        job.mark_running()
+    def _run(self, job, worker):
+        """Execute one sweep, one ``executor.map`` per app span — which
+        is what turns a monolithic sweep into streamable progress."""
+        if not job.mark_running():
+            return
+        self._observe("started", job)
         try:
             runs = [None] * len(job.specs)
             failures = []
             for app, lo, hi in job.spans:
+                if worker.abandoned:
+                    return      # watchdog already failed this job
+                worker.heartbeat = time.monotonic()
                 span_runs = job.executor.map(job.specs[lo:hi])
                 runs[lo:hi] = span_runs
                 # Span-local failure indices rebase onto the grid so
@@ -411,7 +625,66 @@ class JobRunner:
                     "failures": len(failures),
                 })
         except Exception as exc:
-            job.fail(exc)
+            if job.fail(exc):
+                self._observe("failed", job)
             return
-        job.finish(SuiteResult(results=aggregate_results(job.spans, runs),
-                               failures=failures))
+        done = job.finish(SuiteResult(
+            results=aggregate_results(job.spans, runs),
+            failures=failures))
+        if done:
+            self._observe("finished", job)
+
+    def _observe(self, event, job):
+        observer = self.observer
+        if observer is None:
+            return
+        try:
+            observer(event, job)
+        except Exception:       # pragma: no cover - observer backstop
+            log.exception("job observer failed for %s on %s",
+                          event, job.id)
+
+    # -- watchdog ------------------------------------------------------
+
+    def _watch(self):
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+            now = time.monotonic()
+            for slot, worker in enumerate(list(self._workers)):
+                if worker.job is None or worker.abandoned:
+                    continue
+                if not worker.thread.is_alive():
+                    self._declare_dead(slot, worker, "crash")
+                elif (self.hang_s is not None
+                        and now - worker.heartbeat > self.hang_s):
+                    self._declare_dead(slot, worker, "deadline")
+            time.sleep(self.TICK_S)
+
+    def _declare_dead(self, slot, worker, kind):
+        """Fail a dead/hung dispatcher's job; bring up a replacement."""
+        job = worker.job
+        if kind == "crash":
+            self.crashed += 1
+            detail = (f"dispatcher worker {worker.name} crashed "
+                      f"mid-job; worker respawned")
+        else:
+            self.hung += 1
+            detail = (f"dispatcher worker {worker.name} missed its "
+                      f"heartbeat for {self.hang_s:g}s; job failed, "
+                      f"worker replaced")
+        log.error("%s (job %s)", detail, job.id)
+        with self._cond:
+            worker.abandoned = True
+            worker.job = None
+            self._workers[slot] = self._spawn()
+            self.respawned += 1
+            self._cond.notify_all()
+        if job.fail_quarantined(kind, detail):
+            self._observe("failed", job)
+
+
+#: Backwards-compatible name: PR 8's single-thread runner grew into
+#: the pool; a ``DispatcherPool(workers=1)`` is its exact successor.
+JobRunner = DispatcherPool

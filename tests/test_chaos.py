@@ -244,3 +244,125 @@ class TestServiceChaos:
         assert payload["state"] == "done"
         assert [f["kind"] for f in payload["failures"]] == ["deadline"]
         assert [f["kind"] for f in done["failures"]] == ["deadline"]
+
+
+class TestDispatcherChaos:
+    """Faults in the *dispatcher* layer, one level above the executor:
+    a crashed or hung dispatcher thread must fail only its own job with
+    the standard quarantine taxonomy (streams terminate, never hang)
+    while the watchdog respawns the worker so later jobs complete."""
+
+    SWEEP = {"apps": ["chrome"], "duration_s": 0.4, "iterations": 1}
+
+    @staticmethod
+    def _dispatch(service, method, path, body=None):
+        from repro.service.http import HttpRequest
+
+        payload = json.dumps(body).encode() if body is not None else b""
+        return service.dispatch(HttpRequest(
+            method=method, target=path, path=path, query={}, headers={},
+            body=payload))
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_crashed_dispatcher_fails_only_its_job_and_respawns(
+            self, tmp_path):
+        from repro.service import SweepService
+
+        service = SweepService(cache=tmp_path / "cache", job_workers=1)
+        crashed = []
+
+        def chaos(job, worker):
+            if not crashed:
+                crashed.append(job.id)
+                raise SystemExit    # kills the dispatcher thread quietly
+
+        service.runner.chaos = chaos
+        server, thread = TestServiceChaos._serve(service)
+        try:
+            status, body = TestServiceChaos._http(
+                server.port, "POST", "/sweeps", self.SWEEP)
+            assert status == 202
+            job_id = json.loads(body)["id"]
+
+            # The stream terminates with a failed event — it must not
+            # hang on the dead dispatcher.
+            import http.client
+
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=120)
+            try:
+                conn.request("GET", f"/sweeps/{job_id}/stream")
+                events = [json.loads(line)
+                          for line in conn.getresponse()]
+            finally:
+                conn.close()
+            assert events[-1]["event"] == "failed"
+
+            status, body = TestServiceChaos._http(
+                server.port, "GET", f"/sweeps/{job_id}")
+            payload = json.loads(body)
+            assert payload["state"] == "failed"
+            kinds = [f["kind"] for f in payload["failures"]]
+            assert kinds == ["crash"]
+            assert all(k in FAILURE_KINDS for k in kinds)
+            assert "dispatcher" in payload["failures"][0]["detail"]
+
+            # Only its own job died; the respawned worker completes a
+            # subsequent sweep normally.
+            status, body = TestServiceChaos._http(
+                server.port, "POST", "/sweeps",
+                dict(self.SWEEP, duration_s=0.45))
+            next_id = json.loads(body)["id"]
+            job = service.store.find(next_id)
+            assert job.wait_done(60) and job.state == "done"
+            assert job.failures == []
+
+            status, body = TestServiceChaos._http(
+                server.port, "GET", "/healthz")
+            health = json.loads(body)
+            assert health["dispatchers"]["crashed"] == 1
+            assert health["dispatchers"]["respawned"] == 1
+        finally:
+            server.request_stop()
+            thread.join(timeout=30)
+            service.close()
+
+    def test_hung_dispatcher_flagged_deadline_and_replaced(self):
+        import threading
+
+        from repro.service import SweepService
+
+        service = SweepService(job_workers=1, hang_s=0.3)
+        release = threading.Event()
+        hung = []
+
+        def chaos(job, worker):
+            if not hung:
+                hung.append(job.id)
+                release.wait(60)    # wedge the first dispatcher
+
+        service.runner.chaos = chaos
+        try:
+            response = self._dispatch(service, "POST", "/sweeps",
+                                      self.SWEEP)
+            assert response.status == 202
+            job_id = json.loads(response.body)["id"]
+            job = service.store.find(job_id)
+            assert job.wait_done(30)
+            assert job.state == "failed"
+            assert [f.kind for f in job.failures] == ["deadline"]
+            assert "heartbeat" in job.failures[0].detail
+
+            response = self._dispatch(service, "POST", "/sweeps",
+                                      dict(self.SWEEP, duration_s=0.45))
+            job = service.store.find(json.loads(response.body)["id"])
+            assert job.wait_done(60) and job.state == "done"
+
+            response = self._dispatch(service, "GET", "/healthz")
+            health = json.loads(response.body)
+            assert health["dispatchers"]["hung"] == 1
+            assert health["dispatchers"]["respawned"] == 1
+        finally:
+            release.set()
+            service.close()

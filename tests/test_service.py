@@ -5,6 +5,10 @@ port — submit, poll, stream, fetch — plus the framing layer, request
 validation, content-addressed dedup and conditional reuse, the
 CLI-byte-identity acceptance check, mutation conflicts, graceful
 drain, and the per-submission executor re-resolution regression.
+
+PR 10 additions: admission control (bounded queue -> 429 +
+``Retry-After``, ``/readyz``), TTL job eviction, the bounded shutdown
+drain, the crash circuit breaker, and write-ahead ledger recovery.
 """
 
 import asyncio
@@ -460,6 +464,303 @@ class TestExecutorReResolution:
             assert payload["backend"] == "pool-2"
             job = wait_job(service, payload["id"])
             assert job.state == "done"
+        finally:
+            service.close()
+
+
+class _Gate:
+    """Chaos hook that parks every dispatched job until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.blocked = threading.Event()
+
+    def __call__(self, job, worker):
+        self.blocked.set()
+        self.release.wait(60)
+
+
+class TestAdmissionControl:
+    def test_queue_cap_answers_429_with_retry_after(self, tmp_path):
+        service = SweepService(cache=tmp_path / "cache", job_workers=1,
+                               max_queue=1)
+        gate = _Gate()
+        service.runner.chaos = gate
+        try:
+            response = service.dispatch(make_request(
+                "POST", "/sweeps", dict(SWEEP, duration_s=0.31)))
+            assert response.status == 202
+            assert gate.blocked.wait(15)    # job 1 occupies the worker
+
+            response = service.dispatch(make_request(
+                "POST", "/sweeps", dict(SWEEP, duration_s=0.32)))
+            assert response.status == 202   # job 2 fills the queue
+
+            response = service.dispatch(make_request(
+                "POST", "/sweeps", dict(SWEEP, duration_s=0.33)))
+            assert response.status == 429
+            assert int(response.headers["Retry-After"]) >= 1
+            assert "capacity" in json.loads(response.body)["error"]
+
+            response = service.dispatch(make_request("GET", "/readyz"))
+            assert response.status == 503
+            assert json.loads(response.body)["ready"] is False
+            assert "Retry-After" in response.headers
+
+            # Liveness is not admission: /healthz still answers 200.
+            response = service.dispatch(make_request("GET", "/healthz"))
+            assert response.status == 200
+            health = json.loads(response.body)
+            assert health["queue"]["depth"] == 1
+            assert health["queue"]["max"] == 1
+            assert health["queue"]["rejected"] == 1
+
+            # A duplicate of an admitted sweep dedups instead of 429ing.
+            response = service.dispatch(make_request(
+                "POST", "/sweeps", dict(SWEEP, duration_s=0.32)))
+            assert response.status == 200
+            assert json.loads(response.body)["deduplicated"] is True
+
+            gate.release.set()
+            deadline = time.monotonic() + 30
+            while (service.runner.queue_depth()
+                    and time.monotonic() < deadline):
+                time.sleep(0.02)
+            response = service.dispatch(make_request("GET", "/readyz"))
+            assert response.status == 200
+            assert json.loads(response.body)["ready"] is True
+
+            # The rejection rolled back cleanly: the same sweep is
+            # admittable (not deduped to a ghost) once capacity frees.
+            response = service.dispatch(make_request(
+                "POST", "/sweeps", dict(SWEEP, duration_s=0.33)))
+            assert response.status == 202
+            assert json.loads(response.body)["deduplicated"] is False
+        finally:
+            gate.release.set()
+            service.close()
+
+    def test_readyz_refuses_while_draining(self):
+        service = SweepService()
+        try:
+            service.state = "draining"
+            response = service.dispatch(make_request("GET", "/readyz"))
+            assert response.status == 503
+            assert json.loads(response.body)["state"] == "draining"
+        finally:
+            service.close()
+
+
+class TestJobEviction:
+    def test_done_jobs_evicted_after_ttl(self, tmp_path):
+        service = SweepService(cache=tmp_path / "cache", job_ttl_s=0.2)
+        try:
+            response = service.dispatch(
+                make_request("POST", "/sweeps", SWEEP))
+            job_id = json.loads(response.body)["id"]
+            job = wait_job(service, job_id)
+            assert job.state == "done"
+            assert service.store.find(job_id) is not None
+
+            time.sleep(0.3)
+            assert service.store.find(job_id) is None
+            response = service.dispatch(make_request("GET", "/healthz"))
+            assert json.loads(response.body)["evicted_jobs"] == 1
+
+            # An evicted sweep resubmits as a fresh job that restores
+            # entirely from the result cache — eviction costs memory
+            # recall, never re-simulation.
+            response = service.dispatch(
+                make_request("POST", "/sweeps", SWEEP))
+            assert response.status == 202
+            assert json.loads(response.body)["deduplicated"] is False
+            job = wait_job(service, job_id)
+            assert job.executed == 0
+            assert job.cache_hits == len(job.specs)
+        finally:
+            service.close()
+
+
+class TestDrainDeadline:
+    def test_expired_drain_fails_inflight_as_deadline(self, tmp_path):
+        service = SweepService(cache=tmp_path / "cache", job_workers=1)
+        gate = _Gate()
+        service.runner.chaos = gate
+        try:
+            response = service.dispatch(make_request(
+                "POST", "/sweeps", dict(SWEEP, duration_s=0.35)))
+            job_id = json.loads(response.body)["id"]
+            assert gate.blocked.wait(15)
+
+            response = service.dispatch(make_request(
+                "POST", "/shutdown", {"drain_s": 0.3}))
+            assert response.status == 202
+            assert json.loads(response.body)["drain_s"] == 0.3
+
+            deadline = time.monotonic() + 15
+            while service.state != "stopped" \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert service.state == "stopped"
+
+            job = service.store.find(job_id)
+            assert job.state == "failed"
+            assert [f.kind for f in job.failures] == ["deadline"]
+            # The stream terminates instead of hanging on the wedge.
+            events, exhausted = job.wait_events(0, timeout=1.0)
+            assert events[-1]["event"] == "failed"
+            assert exhausted
+        finally:
+            gate.release.set()
+            service.close()
+
+    def test_invalid_drain_deadline_rejected(self):
+        service = SweepService()
+        try:
+            response = service.dispatch(make_request(
+                "POST", "/shutdown", {"drain_s": -1}))
+            assert response.status == 400
+            assert service.state == "running"
+        finally:
+            service.close()
+
+
+class TestCircuitBreaker:
+    def test_breaker_unit_lifecycle(self):
+        from repro.service import CircuitBreaker
+
+        breaker = CircuitBreaker(threshold=2, cooldown_s=60.0)
+        assert breaker.state() == "closed" and not breaker.degraded()
+        breaker.record_crash()
+        assert breaker.state() == "closed"
+        breaker.record_crash()
+        assert breaker.state() == "open" and breaker.degraded()
+        breaker.record_ok()
+        assert breaker.state() == "closed" and not breaker.degraded()
+
+        fast = CircuitBreaker(threshold=1, cooldown_s=0.05)
+        fast.record_crash()
+        assert fast.degraded()
+        time.sleep(0.1)
+        assert fast.state() == "half-open" and not fast.degraded()
+        fast.record_crash()     # half-open probe failed: re-open
+        assert fast.degraded()
+
+    def test_repeated_crash_quarantines_degrade_to_serial(self, tmp_path):
+        service = SweepService(jobs=2, cache=tmp_path / "cache",
+                               breaker_threshold=1,
+                               breaker_cooldown_s=60.0)
+        try:
+            crashing = {"apps": ["chrome"], "duration_s": 0.5,
+                        "iterations": 1, "fault": "worker-crash"}
+            response = service.dispatch(
+                make_request("POST", "/sweeps", crashing))
+            payload = json.loads(response.body)
+            assert payload["backend"].startswith("pool")
+            job = wait_job(service, payload["id"])
+            assert [f.kind for f in job.failures] == ["crash"]
+
+            deadline = time.monotonic() + 10
+            while service.breaker.state() != "open" \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert service.breaker.state() == "open"
+
+            response = service.dispatch(
+                make_request("POST", "/sweeps", SWEEP))
+            assert json.loads(response.body)["backend"] == "serial"
+            response = service.dispatch(make_request("GET", "/healthz"))
+            assert json.loads(response.body)["circuit"]["state"] == "open"
+
+            # A healthy outcome closes the breaker; the pool returns.
+            service.breaker.record_ok()
+            response = service.dispatch(make_request(
+                "POST", "/sweeps", dict(SWEEP, duration_s=0.45)))
+            assert json.loads(
+                response.body)["backend"].startswith("pool")
+        finally:
+            service.close()
+
+
+class TestLedgerRecovery:
+    def test_finished_job_restored_without_resimulation(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        first = SweepService(ledger=ledger, cache=tmp_path / "cache")
+        try:
+            response = first.dispatch(
+                make_request("POST", "/sweeps", SWEEP))
+            job_id = json.loads(response.body)["id"]
+            job = wait_job(first, job_id)
+            assert job.state == "done" and job.executed > 0
+            original = job.result_bytes
+        finally:
+            first.close()
+
+        restarted = SweepService(ledger=ledger, cache=tmp_path / "cache")
+        try:
+            job = restarted.store.find(job_id)
+            assert job is not None and job.recovered == "finished"
+            assert job.wait_done(120)
+            assert job.state == "done"
+            assert job.executed == 0
+            assert job.cache_hits == len(job.specs)
+            assert job.result_bytes == original
+            assert job.etag() == f'"{job_id}"'
+            response = restarted.dispatch(
+                make_request("GET", "/healthz"))
+            assert json.loads(response.body)["recovered"] == {
+                "finished": 1, "interrupted": 0}
+        finally:
+            restarted.close()
+
+    def test_interrupted_job_reenqueued_and_completed(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        request_payload = SweepRequest.from_payload(SWEEP).to_payload()
+        lines = [
+            {"format": "repro-job-ledger-v1"},
+            {"event": "submitted", "id": "ab" * 32,
+             "request": request_payload},
+            {"event": "started", "id": "ab" * 32},
+        ]
+        ledger.write_text("".join(json.dumps(line) + "\n"
+                                  for line in lines))
+        service = SweepService(ledger=ledger, cache=tmp_path / "cache")
+        try:
+            jobs = service.store.all()
+            assert len(jobs) == 1
+            job = jobs[0]
+            assert job.recovered == "interrupted"
+            assert job.wait_done(120)
+            assert job.state == "done" and job.failures == []
+            assert job.result_bytes is not None
+            response = service.dispatch(make_request("GET", "/healthz"))
+            assert json.loads(response.body)["recovered"] == {
+                "finished": 0, "interrupted": 1}
+        finally:
+            service.close()
+
+    def test_failed_jobs_stay_failed_across_restart(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        request_payload = SweepRequest.from_payload(SWEEP).to_payload()
+        lines = [
+            {"format": "repro-job-ledger-v1"},
+            {"event": "submitted", "id": "cd" * 32,
+             "request": request_payload},
+            {"event": "failed", "id": "cd" * 32, "error": "boom"},
+        ]
+        ledger.write_text("".join(json.dumps(line) + "\n"
+                                  for line in lines))
+        service = SweepService(ledger=ledger, cache=tmp_path / "cache")
+        try:
+            assert service.store.all() == []
+        finally:
+            service.close()
+
+    def test_ledger_implies_cache(self, tmp_path):
+        service = SweepService(ledger=tmp_path / "jobs.jsonl")
+        try:
+            assert service.cache_dir == str(tmp_path / "jobs.jsonl") \
+                + ".cache"
         finally:
             service.close()
 
